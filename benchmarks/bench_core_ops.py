@@ -1,0 +1,55 @@
+"""E9 — micro-benchmarks of the core engines.
+
+Validates the paper's Section-5 cost claims: ULC's per-reference stack
+operations are O(1) — throughput must not degrade with cache size — and
+the protocol overhead stays within a small constant factor of plain LRU.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ULCClient, ULCMultiSystem
+from repro.policies import LRUPolicy
+from repro.workloads import zipf_trace
+
+
+def _drive_ulc(capacity_per_level: int, refs) -> ULCClient:
+    engine = ULCClient([capacity_per_level] * 3)
+    for block in refs:
+        engine.access(block)
+    return engine
+
+
+@pytest.mark.parametrize("capacity", [256, 1024, 4096])
+def bench_ulc_access_throughput(benchmark, capacity):
+    """ULC references/second at several cache sizes (flat = O(1))."""
+    refs = zipf_trace(capacity * 8, 20_000, seed=1).blocks.tolist()
+    benchmark.pedantic(
+        _drive_ulc, args=(capacity, refs), rounds=3, iterations=1
+    )
+
+
+def bench_lru_access_throughput(benchmark):
+    """Plain LRU baseline for the overhead comparison."""
+    refs = zipf_trace(8192, 20_000, seed=1).blocks.tolist()
+
+    def run():
+        policy = LRUPolicy(3072)
+        for block in refs:
+            policy.access(block)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def bench_multi_client_throughput(benchmark):
+    """Multi-client system end-to-end throughput (8 clients)."""
+    trace = zipf_trace(8192, 20_000, seed=2)
+    blocks = trace.blocks.tolist()
+
+    def run():
+        system = ULCMultiSystem(8, client_capacity=128, server_capacity=2048)
+        for index, block in enumerate(blocks):
+            system.access(index % 8, block)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,30 @@
+"""E1 — regenerate Figure 2: reference-ratio distributions of the four
+locality measures over the six Section-2 workloads."""
+
+from __future__ import annotations
+
+from repro.experiments import run_section2
+
+
+def bench_figure2(benchmark, scale):
+    result = benchmark.pedantic(
+        run_section2, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render_figure2())
+
+    # Shape assertions mirroring the paper's Figure-2 observations.
+    for name, analysis in result.analyses.items():
+        nd_head = analysis.head_concentration("ND")
+        for other in ("R", "NLD", "LLD-R"):
+            assert nd_head >= analysis.head_concentration(other) - 0.05, (
+                f"ND must give the best distribution on {name}"
+            )
+    looping = result.analyses["cs"]
+    assert looping.head_concentration("R", 5) < 0.2, (
+        "R must fail on the looping cs workload"
+    )
+    lru_friendly = result.analyses["sprite"]
+    assert lru_friendly.head_concentration("R", 3) > 0.5, (
+        "R must do well on the LRU-friendly sprite workload"
+    )

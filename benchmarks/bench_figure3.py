@@ -1,0 +1,32 @@
+"""E2 — regenerate Figure 3: movement-ratio curves of the four measures
+(the communication-stability argument for LLD-R)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_section2
+
+
+def bench_figure3(benchmark, scale):
+    result = benchmark.pedantic(
+        run_section2, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render_figure3())
+
+    # Shape assertions mirroring the paper's Figure-3 observations:
+    # (1) ND and R have the highest movement ratios; NLD and LLD-R are
+    # much more stable. (2) The gap is pronounced on the looping
+    # glimpse workload but holds even for sprite and zipf.
+    for name, analysis in result.analyses.items():
+        assert (
+            analysis.mean_movement_ratio("NLD")
+            < analysis.mean_movement_ratio("ND")
+        ), f"NLD must be more stable than ND on {name}"
+        assert (
+            analysis.mean_movement_ratio("LLD-R")
+            < analysis.mean_movement_ratio("R")
+        ), f"LLD-R must be more stable than R on {name}"
+    glimpse = result.analyses["glimpse"]
+    assert glimpse.mean_movement_ratio("LLD-R") < 0.6 * glimpse.mean_movement_ratio("R"), (
+        "the stability gap must be pronounced on the looping glimpse trace"
+    )

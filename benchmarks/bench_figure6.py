@@ -1,0 +1,52 @@
+"""E4 — regenerate Figure 6: three-level single-client comparison of
+indLRU, uniLRU and ULC (hit rates, demotion rates, T_ave breakdown)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure6
+
+
+def bench_figure6(benchmark, scale):
+    result = benchmark.pedantic(
+        run_figure6, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    # Shape assertions mirroring the paper's Section-4.3 findings.
+    for workload in ("random", "zipf", "httpd", "dev1", "tpcc1"):
+        ind = result.result_for("indLRU", workload)
+        uni = result.result_for("uniLRU", workload)
+        ulc = result.result_for("ULC", workload)
+
+        # indLRU never demotes; its low levels contribute little.
+        assert sum(ind.demotion_rates) == 0.0
+        assert ind.level_hit_rates[1] < ind.level_hit_rates[0]
+
+        # "significant performance improvements of uniLRU over indLRU
+        # for all the five traces" (17%-80% in the paper).
+        assert uni.t_ave_ms < ind.t_ave_ms, workload
+
+        # "ULC achieves from 11% to 71% reduction ... over uniLRU".
+        assert ulc.t_ave_ms < uni.t_ave_ms, workload
+
+        # ULC's demotion rates are far below uniLRU's on every trace.
+        assert sum(ulc.demotion_rates) < 0.55 * sum(uni.demotion_rates), workload
+
+    # The random trace: uniLRU's levels contribute nearly equally
+    # (paper: 19.5 / 19.6 / 19.5) and B1 demotions track the miss rate
+    # (paper: 80.5%).
+    uni_random = result.result_for("uniLRU", "random")
+    rates = uni_random.level_hit_rates
+    assert max(rates) - min(rates) < 0.1
+    assert uni_random.demotion_rates[0] > 0.5
+
+    # tpcc1: uniLRU pays a demotion on essentially every reference and
+    # serves the loop from L2; ULC serves it with an access-time-aware
+    # distribution (paper: L1 50.3%, L2 45.1%).
+    uni_tpcc = result.result_for("uniLRU", "tpcc1")
+    ulc_tpcc = result.result_for("ULC", "tpcc1")
+    assert uni_tpcc.demotion_rates[0] > 0.85
+    assert uni_tpcc.level_hit_rates[1] > 0.6
+    assert ulc_tpcc.level_hit_rates[0] > 0.3
+    assert sum(ulc_tpcc.demotion_rates) < 0.15

@@ -1,0 +1,50 @@
+"""E5 — regenerate Figure 7: multi-client average access time vs server
+cache size for indLRU, uniLRU (best variant), MQ and ULC."""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure7
+
+
+def bench_figure7(benchmark, scale):
+    result = benchmark.pedantic(
+        run_figure7, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    # Shape assertions mirroring Section 4.4.
+    for workload, series in result.series.items():
+        points = len(series["ULC"])
+        for index in range(points):
+            ulc = series["ULC"][index].result.t_ave_ms
+            others = {
+                label: series[label][index].result.t_ave_ms
+                for label in series
+                if label != "ULC"
+            }
+            # "for all the workloads ULC achieves the best performance";
+            # we allow a 10% band at individual points (synthetic-trace
+            # noise), and require strict wins on the workload average.
+            assert ulc <= min(others.values()) * 1.10, (
+                workload, index, ulc, others,
+            )
+        mean_ulc = sum(
+            p.result.t_ave_ms for p in series["ULC"]
+        ) / points
+        for label in series:
+            if label == "ULC":
+                continue
+            mean_other = sum(
+                p.result.t_ave_ms for p in series[label]
+            ) / points
+            assert mean_ulc < mean_other, (workload, label)
+
+    # db2: uniLRU overtakes indLRU once the combined caches cover the
+    # looping scopes (the crossover the paper explains).
+    db2 = result.series["db2"]
+    last = len(db2["ULC"]) - 1
+    assert (
+        db2["uniLRU(best)"][last].result.t_ave_ms
+        < db2["indLRU"][last].result.t_ave_ms
+    )

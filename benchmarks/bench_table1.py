@@ -1,0 +1,23 @@
+"""E3 — regenerate Table 1: qualitative comparison of ND / R / NLD / LLD-R."""
+
+from __future__ import annotations
+
+from repro.experiments import run_section2
+
+
+def bench_table1(benchmark, scale):
+    result = benchmark.pedantic(
+        run_section2, args=(scale,), rounds=1, iterations=1
+    )
+    table = result.render_table1()
+    print()
+    print(table)
+
+    # The regenerated table must carry the paper's verdicts.
+    lines = {line.split("  ")[0]: line for line in table.splitlines()}
+    distinction = lines["Ability to distinguish locality strengths"]
+    stability = lines["Stability of distinctions"]
+    online = lines["On-line measures"]
+    assert distinction.split()[-4:] == ["strong", "weak", "strong", "strong"]
+    assert stability.split()[-4:] == ["weak", "weak", "strong", "strong"]
+    assert online.split()[-4:] == ["no", "yes", "no", "yes"]

@@ -1,0 +1,58 @@
+"""Throughput micro-benches for the substrate the experiments stand on:
+workload generation, trace statistics and the measure analysis."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_measures
+from repro.workloads import (
+    describe,
+    filter_through_cache,
+    make_large_workload,
+    make_multi_workload,
+    reuse_distances,
+    zipf_trace,
+)
+
+
+def bench_generate_tpcc1(benchmark):
+    """tpcc1-equivalent generation (loop + zipf interleave)."""
+    benchmark.pedantic(
+        lambda: make_large_workload("tpcc1", scale=1 / 64, num_refs=50_000),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def bench_generate_httpd_multiclient(benchmark):
+    """httpd 7-client generation (drift + sessions + crawler + routing)."""
+    benchmark.pedantic(
+        lambda: make_multi_workload("httpd", scale=1 / 64, num_refs=50_000),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def bench_reuse_distances(benchmark):
+    """Fenwick-based stack distances over 100k references."""
+    trace = zipf_trace(5000, 100_000, seed=1)
+    benchmark.pedantic(lambda: reuse_distances(trace), rounds=3, iterations=1)
+
+
+def bench_describe(benchmark):
+    trace = zipf_trace(5000, 100_000, seed=2)
+    benchmark.pedantic(lambda: describe(trace), rounds=3, iterations=1)
+
+
+def bench_filter_through_cache(benchmark):
+    trace = zipf_trace(5000, 100_000, seed=3)
+    benchmark.pedantic(
+        lambda: filter_through_cache(trace, 1000), rounds=3, iterations=1
+    )
+
+
+def bench_measure_analysis(benchmark):
+    """The exact ordered-list analysis (four measures, 10 segments)."""
+    trace = zipf_trace(600, 12_000, seed=4)
+    benchmark.pedantic(
+        lambda: analyze_measures(trace), rounds=1, iterations=1
+    )

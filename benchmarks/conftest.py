@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's figures or tables.
+The experiment scale is selectable::
+
+    pytest benchmarks/ --benchmark-only                 # bench scale
+    ULC_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only
+
+``paper`` is the scale used for the EXPERIMENTS.md numbers (minutes);
+``bench`` (default) finishes in tens of seconds; ``tiny`` in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    return os.environ.get("ULC_BENCH_SCALE", "bench")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()

@@ -1,0 +1,45 @@
+"""Section-2 measures on a workload of your choice.
+
+Runs the four locality measures (ND, R, NLD, LLD-R) over one of the six
+small-scale workloads and prints the Figure-2 and Figure-3 style tables,
+so you can see *why* LLD-R is the right online basis for multi-level
+placement: it distinguishes locality strengths almost as well as the
+offline measures while being far more stable.
+
+Run:  python examples/measure_playground.py [workload]
+      (workload: cs | glimpse | sprite | zipf | random | multi)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import (
+    analyze_measures,
+    render_figure2,
+    render_figure2_cumulative,
+    render_figure3,
+)
+from repro.workloads import make_small_workload
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "glimpse"
+    trace = make_small_workload(workload, scale=0.5)
+    print(f"analysing {trace} ...\n")
+    analysis = analyze_measures(trace)
+    print(render_figure2(analysis))
+    print()
+    print(render_figure2_cumulative(analysis))
+    print()
+    print(render_figure3(analysis))
+    print(
+        "\nReading guide: a good measure concentrates references in the "
+        "low-numbered segments\n(Figure 2) and crosses segment boundaries "
+        "rarely (Figure 3) — boundary crossings\nbecome block transfers "
+        "between cache levels in a unified hierarchy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""The tpcc1 story: why uniLRU demotes on every reference and ULC does not.
+
+Reproduces the paper's Figure-6 headline in miniature: a TPC-C-like
+workload whose dominant scan loop fits in the first two cache levels
+together but not in the client alone. Unified LRU serves it almost
+entirely from level 2 — at the price of a demotion on nearly every
+reference — while ULC pins the loop at level 2 directly and almost never
+moves a block.
+
+Run:  python examples/three_level_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import paper_three_level, run_simulation
+from repro.hierarchy import IndependentScheme, ULCScheme, UnifiedLRUScheme
+from repro.util.tables import format_table
+from repro.workloads import tpcc1_like
+
+
+def main() -> None:
+    # 1/64-scale tpcc1 equivalent: 512-block universe slice, 100-block
+    # cache levels (same cache:data ratio as the paper's 50 MB / 256 MB).
+    trace = tpcc1_like(scale=1 / 64, num_refs=120_000)
+    capacity = 100
+    costs = paper_three_level()
+
+    rows = []
+    for scheme in [
+        IndependentScheme([capacity] * 3),
+        UnifiedLRUScheme([capacity] * 3),
+        ULCScheme([capacity] * 3),
+    ]:
+        result = run_simulation(scheme, trace, costs)
+        rows.append(
+            [
+                result.scheme,
+                result.level_hit_rates[0],
+                result.level_hit_rates[1],
+                result.level_hit_rates[2],
+                result.miss_rate,
+                result.demotion_rates[0],
+                result.t_ave_ms,
+                result.demotion_fraction_of_time,
+            ]
+        )
+
+    print(
+        format_table(
+            ["scheme", "L1 hit", "L2 hit", "L3 hit", "miss",
+             "B1 demotions/ref", "T_ave (ms)", "demo share"],
+            rows,
+            title=f"TPC-C-like looping workload, {len(trace)} references",
+        )
+    )
+    print(
+        "\nuniLRU reaches the same blocks as ULC but pays a demotion on "
+        "nearly every reference;\nULC places the loop at level 2 once and "
+        "leaves it there (paper Sec. 4.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

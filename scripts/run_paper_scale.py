@@ -1,0 +1,112 @@
+"""Run every experiment at paper scale and write the combined report.
+
+This is the script behind EXPERIMENTS.md::
+
+    python scripts/run_paper_scale.py [--scale paper] [--out results/]
+
+Each experiment's rendered tables land in ``<out>/<experiment>.txt`` and
+a combined ``report.txt``; Figure 6/7 raw results are saved as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    run_all_ablations,
+    run_figure6,
+    run_figure7,
+    run_section2,
+)
+from repro.sim import save_results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", default="paper")
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    sections = []
+
+    def log(message: str) -> None:
+        print(f"[{time.strftime('%H:%M:%S')}] {message}", flush=True)
+
+    started = time.time()
+    log(f"section 2 (figures 2, 3; table 1) @ {args.scale} ...")
+    section2 = run_section2(args.scale)
+    for name, render in [
+        ("figure2", section2.render_figure2),
+        ("figure3", section2.render_figure3),
+        ("table1", section2.render_table1),
+    ]:
+        text = render()
+        (out / f"{name}.txt").write_text(text + "\n")
+        sections.append(text)
+    log(f"section 2 done ({time.time() - started:.0f}s)")
+
+    log("figure 6 ...")
+    t0 = time.time()
+    figure6 = run_figure6(args.scale)
+    text = figure6.render()
+    (out / "figure6.txt").write_text(text + "\n")
+    sections.append(text)
+    flat = [r for runs in figure6.results.values() for r in runs]
+    save_results(flat, out / "figure6.json")
+    reductions = []
+    for workload in ("random", "zipf", "httpd", "dev1", "tpcc1"):
+        uni = figure6.access_time_reduction(workload, "indLRU", "uniLRU")
+        ulc = figure6.access_time_reduction(workload, "uniLRU", "ULC")
+        reductions.append(
+            f"{workload}: uniLRU-vs-indLRU {uni:.0%}, ULC-vs-uniLRU {ulc:.0%}"
+        )
+    summary = "T_ave reductions\n" + "\n".join(reductions)
+    (out / "figure6_reductions.txt").write_text(summary + "\n")
+    sections.append(summary)
+    log(f"figure 6 done ({time.time() - t0:.0f}s)")
+
+    log("figure 7 ...")
+    t0 = time.time()
+    figure7 = run_figure7(args.scale)
+    text = figure7.render()
+    (out / "figure7.txt").write_text(text + "\n")
+    sections.append(text)
+    raw = {
+        workload: {
+            label: [
+                {"server": p.value, "t_ave_ms": p.result.t_ave_ms,
+                 "hit_rates": p.result.level_hit_rates,
+                 "miss": p.result.miss_rate,
+                 "demotions": p.result.demotion_rates}
+                for p in points
+            ]
+            for label, points in series.items()
+        }
+        for workload, series in figure7.series.items()
+    }
+    (out / "figure7.json").write_text(json.dumps(raw, indent=2))
+    log(f"figure 7 done ({time.time() - t0:.0f}s)")
+
+    log("ablations ...")
+    t0 = time.time()
+    for ablation in run_all_ablations(args.scale):
+        text = ablation.render()
+        sections.append(text)
+    (out / "ablations.txt").write_text(
+        "\n\n".join(sections[-4:]) + "\n"
+    )
+    log(f"ablations done ({time.time() - t0:.0f}s)")
+
+    (out / "report.txt").write_text("\n\n".join(sections) + "\n")
+    log(f"all done in {time.time() - started:.0f}s -> {out}/report.txt")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Locality-measure analysis (paper Section 2) and result rendering."""
+
+from repro.analysis.locality import (
+    ALL_MEASURES,
+    LocalityAnalysis,
+    analyze_measures,
+)
+from repro.analysis.ordered_list import MeasureReport, OrderedListTracker
+from repro.analysis.placement import (
+    PlacementStats,
+    PlacementTracker,
+    placement_churn,
+)
+from repro.analysis.report import (
+    render_figure2,
+    render_figure2_cumulative,
+    render_figure3,
+    render_figure6,
+    render_sweep,
+    render_table1,
+)
+
+__all__ = [
+    "ALL_MEASURES",
+    "LocalityAnalysis",
+    "analyze_measures",
+    "MeasureReport",
+    "OrderedListTracker",
+    "PlacementStats",
+    "PlacementTracker",
+    "placement_churn",
+    "render_figure2",
+    "render_figure2_cumulative",
+    "render_figure3",
+    "render_table1",
+    "render_figure6",
+    "render_sweep",
+]

@@ -1,0 +1,162 @@
+"""Exact ordered-list tracking for the Section-2 measure analysis.
+
+The paper's methodology (Figures 2 and 3): "We maintain an ascendingly
+ordered list for each measure. Once there is a reference to a block, the
+measure value of the block, and possibly the measure values of other
+blocks are changed, and the list is updated to maintain the order. We
+divide the full length of each list into 10 segments of equal size. We
+collect the number of references to each segment ... We also collect the
+block movements across each of the segment boundaries."
+
+:class:`OrderedListTracker` implements that bookkeeping exactly over a
+*fixed universe* (every block the trace will ever touch; blocks not yet
+accessed carry an infinite measure value and sit at the tail), which
+keeps the segment boundaries stable. Ranks are recomputed per reference
+with a stable lexicographic sort — O(n log n) per step, exact, and
+verifiable against a brute-force model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_int, check_positive
+
+
+@dataclass
+class MeasureReport:
+    """Aggregated outcome of tracking one measure over one trace.
+
+    Attributes:
+        measure: measure name ("ND", "R", "NLD", "LLD-R").
+        segment_refs: references landing in each segment (head first).
+        crossings: block movements across each of the 9 boundaries
+            (boundary ``k`` separates segments ``k`` and ``k+1``).
+        crossings_down: the subset of crossings moving towards the tail
+            (the direction that corresponds to demotions).
+        references: references counted (first accesses excluded unless
+            requested).
+    """
+
+    measure: str
+    segment_refs: np.ndarray
+    crossings: np.ndarray
+    crossings_down: np.ndarray
+    references: int
+
+    @property
+    def reference_ratios(self) -> np.ndarray:
+        """Figure 2's y-axis: per-segment share of all counted references."""
+        total = max(1, self.references)
+        return self.segment_refs / total
+
+    @property
+    def cumulative_ratios(self) -> np.ndarray:
+        """Figure 2's cumulative curve over the first N segments."""
+        return np.cumsum(self.reference_ratios)
+
+    @property
+    def movement_ratios(self) -> np.ndarray:
+        """Figure 3's y-axis: boundary crossings per counted reference."""
+        total = max(1, self.references)
+        return self.crossings / total
+
+
+class OrderedListTracker:
+    """Exact rank/segment/crossing bookkeeping for one measure.
+
+    Usage per reference::
+
+        tracker.observe(block_index)   # counts the pre-update segment
+        tracker.values[...] = ...      # caller updates measure values
+        tracker.commit()               # re-rank and count crossings
+
+    ``values`` is a float array; ties are broken by block index, so
+    blocks with equal values never produce phantom movements.
+    """
+
+    def __init__(
+        self, num_items: int, num_segments: int = 10, measure: str = ""
+    ) -> None:
+        check_int("num_items", num_items)
+        check_positive("num_items", num_items)
+        check_int("num_segments", num_segments)
+        if not 2 <= num_segments <= num_items:
+            raise ConfigurationError(
+                f"num_segments must be in [2, {num_items}], got {num_segments}"
+            )
+        self.measure = measure
+        self.num_items = num_items
+        self.num_segments = num_segments
+        self.values = np.full(num_items, np.inf, dtype=np.float64)
+        self._ids = np.arange(num_items)
+        self._ranks = self._ids.copy()  # initial order: by block index
+        # Boundary k (0-based index k-1) sits before position B_k.
+        self.boundaries = np.array(
+            [
+                int(round(k * num_items / num_segments))
+                for k in range(1, num_segments)
+            ],
+            dtype=np.int64,
+        )
+        self.segment_refs = np.zeros(num_segments, dtype=np.int64)
+        self.crossings = np.zeros(num_segments - 1, dtype=np.int64)
+        self.crossings_down = np.zeros(num_segments - 1, dtype=np.int64)
+        self.references = 0
+
+    @property
+    def ranks(self) -> np.ndarray:
+        """Current 0-based rank of every block (read-only view)."""
+        return self._ranks
+
+    def segment_of_rank(self, rank: int) -> int:
+        """0-based segment index of a 0-based rank."""
+        return int(np.searchsorted(self.boundaries, rank, side="right"))
+
+    def rank_of(self, item: int) -> int:
+        """Current rank of a block (0 = list head)."""
+        return int(self._ranks[item])
+
+    def observe(self, item: int, count: bool = True) -> int:
+        """Record a reference to ``item`` at its pre-update position.
+
+        Returns the segment index the reference landed in. Pass
+        ``count=False`` for first accesses (the block is conceptually not
+        in the list yet).
+        """
+        segment = self.segment_of_rank(self.rank_of(item))
+        if count:
+            self.segment_refs[segment] += 1
+            self.references += 1
+        return segment
+
+    def commit(self) -> None:
+        """Re-rank after the caller mutated :attr:`values` and count every
+        boundary crossing (both directions)."""
+        order = np.lexsort((self._ids, self.values))
+        new_ranks = np.empty(self.num_items, dtype=np.int64)
+        new_ranks[order] = self._ids
+        old_ranks = self._ranks
+        for index, boundary in enumerate(self.boundaries):
+            was_above = old_ranks < boundary
+            now_above = new_ranks < boundary
+            moved = was_above != now_above
+            self.crossings[index] += int(np.count_nonzero(moved))
+            self.crossings_down[index] += int(
+                np.count_nonzero(moved & was_above)
+            )
+        self._ranks = new_ranks
+
+    def report(self) -> MeasureReport:
+        """Snapshot of the aggregated statistics."""
+        return MeasureReport(
+            measure=self.measure,
+            segment_refs=self.segment_refs.copy(),
+            crossings=self.crossings.copy(),
+            crossings_down=self.crossings_down.copy(),
+            references=self.references,
+        )

@@ -1,0 +1,131 @@
+"""Placement-churn analysis: how stable is a scheme's caching layout?
+
+Section 1.2 demands two abilities of a multi-level caching algorithm:
+*distinction* of locality strengths and *stability* of the distinction.
+Figures 2/3 evaluate the measures; this module evaluates the resulting
+**schemes**: it watches the stream of :class:`AccessEvent`s and tracks,
+per block, how often its caching level actually changes — the real,
+end-to-end cost of an unstable ranking.
+
+Metrics:
+
+- **placement changes / reference**: any change of a block's level
+  (promotion on the retrieve path, demotion, eviction, re-admission).
+- **demotion transfers / reference**: the subset that moves data down a
+  boundary (the paper's demotion rate).
+- **mean residency**: references a block stays at one level before
+  moving, over blocks that moved at least once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.events import AccessEvent
+from repro.hierarchy.base import MultiLevelScheme
+from repro.policies.base import Block
+from repro.sim.engine import DEFAULT_WARMUP
+from repro.util.stats import RunningStats
+from repro.util.validation import check_fraction
+from repro.workloads.base import Trace
+
+
+@dataclass(frozen=True)
+class PlacementStats:
+    """Aggregated placement-churn numbers for one run."""
+
+    references: int
+    placement_changes: int
+    demotion_transfers: int
+    mean_residency_refs: float
+    changed_blocks: int
+    tracked_blocks: int
+
+    @property
+    def change_rate(self) -> float:
+        """Placement changes per reference."""
+        if self.references == 0:
+            return 0.0
+        return self.placement_changes / self.references
+
+    @property
+    def demotion_rate(self) -> float:
+        """Data-moving demotions per reference."""
+        if self.references == 0:
+            return 0.0
+        return self.demotion_transfers / self.references
+
+
+class PlacementTracker:
+    """Folds access events into placement-churn statistics."""
+
+    def __init__(self, num_levels: int) -> None:
+        self.num_levels = num_levels
+        self._level: Dict[Block, Optional[int]] = {}
+        self._since_change: Dict[Block, int] = {}
+        self.references = 0
+        self.placement_changes = 0
+        self.demotion_transfers = 0
+        self._residencies = RunningStats()
+
+    def _note_level(self, block: Block, level: Optional[int]) -> None:
+        previous = self._level.get(block, "untracked")
+        if previous == "untracked":
+            self._level[block] = level
+            self._since_change[block] = 0
+            return
+        if previous != level:
+            self.placement_changes += 1
+            self._residencies.add(self._since_change.get(block, 0))
+            self._since_change[block] = 0
+        self._level[block] = level
+
+    def record(self, event: AccessEvent) -> None:
+        """Fold one event."""
+        self.references += 1
+        self._note_level(event.block, event.placed_level)
+        self._since_change[event.block] = (
+            self._since_change.get(event.block, 0) + 1
+        )
+        for demotion in event.demotions:
+            if demotion.dst <= self.num_levels:
+                self.demotion_transfers += 1
+                self._note_level(demotion.block, demotion.dst)
+            else:
+                self._note_level(demotion.block, None)
+        for evicted in event.evicted:
+            self._note_level(evicted, None)
+
+    def stats(self) -> PlacementStats:
+        # A scheme that never moved a block is perfectly stable: its
+        # residency is unbounded, not zero.
+        residency = (
+            self._residencies.mean
+            if self._residencies.count
+            else float("inf")
+        )
+        return PlacementStats(
+            references=self.references,
+            placement_changes=self.placement_changes,
+            demotion_transfers=self.demotion_transfers,
+            mean_residency_refs=residency,
+            changed_blocks=self._residencies.count,
+            tracked_blocks=len(self._level),
+        )
+
+
+def placement_churn(
+    scheme: MultiLevelScheme,
+    trace: Trace,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> PlacementStats:
+    """Run ``trace`` through ``scheme`` and measure placement churn."""
+    check_fraction("warmup_fraction", warmup_fraction)
+    warmup = int(len(trace) * warmup_fraction)
+    tracker = PlacementTracker(scheme.num_levels)
+    for index, request in enumerate(trace):
+        event = scheme.access(request.client, request.block)
+        if index >= warmup:
+            tracker.record(event)
+    return tracker.stats()

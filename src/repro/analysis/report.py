@@ -1,0 +1,198 @@
+"""Rendering of analysis and simulation results as terminal tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.locality import ALL_MEASURES, ONLINE_MEASURES, LocalityAnalysis
+from repro.sim.results import RunResult
+from repro.util.tables import format_grid, format_table
+
+
+def render_figure2(analysis: LocalityAnalysis) -> str:
+    """Figure-2 style table: per-segment reference ratios per measure."""
+    measures = [m for m in ALL_MEASURES if m in analysis.reports]
+    segments = len(next(iter(analysis.reports.values())).segment_refs)
+    rows = []
+    for measure in measures:
+        rows.append(list(analysis.reports[measure].reference_ratios))
+    return format_grid(
+        measures,
+        [f"S{k}" for k in range(1, segments + 1)],
+        rows,
+        corner="measure",
+        title=(
+            f"Figure 2 [{analysis.workload}]: reference ratio per list "
+            f"segment ({analysis.num_refs} refs, {analysis.num_blocks} blocks)"
+        ),
+    )
+
+
+def render_figure2_cumulative(analysis: LocalityAnalysis) -> str:
+    """Figure 2's cumulative companion curves."""
+    measures = [m for m in ALL_MEASURES if m in analysis.reports]
+    segments = len(next(iter(analysis.reports.values())).segment_refs)
+    rows = [list(analysis.reports[m].cumulative_ratios) for m in measures]
+    return format_grid(
+        measures,
+        [f"<=S{k}" for k in range(1, segments + 1)],
+        rows,
+        corner="measure",
+        title=f"Figure 2 [{analysis.workload}]: cumulative reference ratios",
+    )
+
+
+def render_figure3(analysis: LocalityAnalysis) -> str:
+    """Figure-3 style table: per-boundary movement ratios per measure."""
+    measures = [m for m in ALL_MEASURES if m in analysis.reports]
+    boundaries = len(next(iter(analysis.reports.values())).crossings)
+    rows = [list(analysis.reports[m].movement_ratios) for m in measures]
+    return format_grid(
+        measures,
+        [f"B{k}" for k in range(1, boundaries + 1)],
+        rows,
+        corner="measure",
+        title=(
+            f"Figure 3 [{analysis.workload}]: movement ratio per segment "
+            "boundary"
+        ),
+    )
+
+
+def render_table1(analyses: Sequence[LocalityAnalysis]) -> str:
+    """Table 1: qualitative measure comparison, derived from the data.
+
+    Scoring, calibrated to the paper's reading of Figures 2 and 3:
+
+    - *Ability to distinguish locality strengths* is strong when the
+      measure's head concentration (references in the first 3 of 10
+      segments) consistently exceeds R's — mean advantage over R of at
+      least 0.05, excluding the ``random`` workload, where the paper
+      itself notes no online measure can beat RANDOM replacement.
+    - *Stability of distinctions* is strong when the mean movement ratio
+      is at most 70% of R's (Figure 3: ND and R "have the highest
+      movement ratios ... NLD and LLD-R have much lower movement
+      ratios").
+    """
+    measures = [m for m in ALL_MEASURES]
+    scored = [a for a in analyses if a.workload != "random"] or list(analyses)
+    head = {m: 0.0 for m in measures}
+    move = {m: 0.0 for m in measures}
+    for analysis in scored:
+        for measure in measures:
+            head[measure] += analysis.head_concentration(measure)
+    for analysis in analyses:
+        for measure in measures:
+            move[measure] += analysis.mean_movement_ratio(measure)
+    for measure in measures:
+        head[measure] /= max(1, len(scored))
+        move[measure] /= max(1, len(analyses))
+    count = len(analyses)
+
+    def distinction(measure: str) -> str:
+        return "strong" if head[measure] - head["R"] >= 0.05 else "weak"
+
+    def stability(measure: str) -> str:
+        return "strong" if move[measure] <= 0.7 * move["R"] else "weak"
+
+    rows = [
+        ["Ability to distinguish locality strengths"]
+        + [distinction(m) for m in measures],
+        ["Stability of distinctions"] + [stability(m) for m in measures],
+        ["On-line measures"]
+        + [("yes" if m in ONLINE_MEASURES else "no") for m in measures],
+        ["mean head concentration (S1-S3)"]
+        + [f"{head[m]:.3f}" for m in measures],
+        ["mean movement ratio"] + [f"{move[m]:.3f}" for m in measures],
+    ]
+    return format_table(
+        [""] + measures,
+        rows,
+        title="Table 1: comparisons of the four measures "
+        f"(averaged over {count} workloads)",
+    )
+
+
+def render_figure6(results: Dict[str, List[RunResult]]) -> str:
+    """Figure-6 style tables: hit rates, demotion rates, T_ave breakdown.
+
+    ``results`` maps scheme name -> one RunResult per workload.
+    """
+    sections = []
+    schemes = list(results)
+    workloads = [r.workload for r in results[schemes[0]]]
+    num_levels = len(results[schemes[0]][0].level_hit_rates)
+
+    hit_rows = []
+    labels = []
+    for scheme in schemes:
+        for result in results[scheme]:
+            labels.append(f"{scheme}/{result.workload}")
+            hit_rows.append(
+                list(result.level_hit_rates) + [result.miss_rate]
+            )
+    sections.append(
+        format_grid(
+            labels,
+            [f"L{k} hit" for k in range(1, num_levels + 1)] + ["miss"],
+            hit_rows,
+            corner="scheme/workload",
+            title="Figure 6a: hit rates at each level",
+        )
+    )
+
+    demo_rows = []
+    for scheme in schemes:
+        for result in results[scheme]:
+            demo_rows.append(list(result.demotion_rates))
+    sections.append(
+        format_grid(
+            labels,
+            [f"B{k}" for k in range(1, num_levels)],
+            demo_rows,
+            corner="scheme/workload",
+            title="Figure 6b: demotion rates at each boundary",
+        )
+    )
+
+    time_rows = []
+    for scheme in schemes:
+        for result in results[scheme]:
+            time_rows.append(
+                [
+                    result.t_ave_ms,
+                    result.t_hit_ms,
+                    result.t_miss_ms,
+                    result.t_demotion_ms,
+                    result.demotion_fraction_of_time,
+                ]
+            )
+    sections.append(
+        format_grid(
+            labels,
+            ["T_ave", "hit part", "miss part", "demotion part", "demo share"],
+            time_rows,
+            corner="scheme/workload",
+            title="Figure 6c: average access time breakdown (ms)",
+        )
+    )
+    return "\n\n".join(sections)
+
+
+def render_sweep(
+    workload: str,
+    series: Dict[str, List],
+) -> str:
+    """Figure-7 style table: T_ave per scheme per server size."""
+    schemes = list(series)
+    sizes = [point.value for point in series[schemes[0]]]
+    rows = []
+    for scheme in schemes:
+        rows.append([point.result.t_ave_ms for point in series[scheme]])
+    return format_grid(
+        schemes,
+        [str(size) for size in sizes],
+        rows,
+        corner="scheme \\ server blocks",
+        title=f"Figure 7 [{workload}]: average access time (ms) vs server size",
+    )

@@ -1,0 +1,319 @@
+"""Command-line interface: regenerate any paper figure or table, inspect
+the generated workloads, or simulate a custom configuration.
+
+Usage::
+
+    python -m repro figure2  [--scale tiny|bench|paper]
+    python -m repro figure3  [--scale ...]
+    python -m repro table1   [--scale ...]
+    python -m repro figure6  [--scale ...] [--workloads random zipf ...]
+    python -m repro figure7  [--scale ...] [--workloads httpd ...]
+    python -m repro ablations [--scale ...]
+    python -m repro workloads [--scale ...] [--workloads small large multi]
+    python -m repro all      [--scale ...]
+
+    # free-form simulation of one scheme over one trace
+    python -m repro simulate --scheme ulc --levels 800 800 800 \\
+        --workload zipf --refs 200000
+    python -m repro simulate --scheme unilru --levels 64 448 \\
+        --trace my_trace.txt --clients 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError, UnknownExperimentError
+from repro.experiments import (
+    FIGURE6_WORKLOADS,
+    FIGURE7_WORKLOADS,
+    SECTION2_WORKLOADS,
+    run_all_ablations,
+    run_figure6,
+    run_figure7,
+    run_section2,
+)
+
+EXPERIMENTS = ("figure2", "figure3", "table1", "figure6", "figure7",
+               "ablations", "all", "workloads", "simulate", "classify")
+
+
+def _run_classify(args: argparse.Namespace) -> str:
+    """The ``classify`` command: pattern-classify a trace or workload."""
+    from repro.util.tables import format_table
+    from repro.workloads import (
+        classify_pattern,
+        load_npz,
+        load_text,
+        make_large_workload,
+    )
+
+    if args.trace is not None:
+        if str(args.trace).endswith(".npz"):
+            trace = load_npz(args.trace)
+        else:
+            trace = load_text(args.trace)
+    else:
+        trace = make_large_workload(args.workload, num_refs=args.refs)
+    verdict = classify_pattern(trace)
+    rows = [["trace", trace.info.name],
+            ["references", len(trace)],
+            ["distinct blocks", trace.num_unique_blocks],
+            ["clients", trace.num_clients],
+            ["pattern", verdict.label]]
+    for key, value in verdict.features.items():
+        rows.append([f"  {key}", f"{value:.4f}"])
+    return format_table(["property", "value"], rows,
+                        title="pattern classification")
+
+
+def _describe_workloads(scale: str, only: Optional[List[str]]) -> str:
+    """Characterise the generated workloads (the ``workloads`` command)."""
+    from repro.experiments import resolve_scale
+    from repro.experiments.figure6 import BASELINE_REFS as F6_REFS
+    from repro.experiments.figure7 import (
+        BASELINE_REFS as F7_REFS,
+        EXTRA_GEOMETRY,
+    )
+    from repro.util.tables import format_table
+    from repro.workloads import (
+        describe,
+        make_large_workload,
+        make_multi_workload,
+        make_small_workload,
+    )
+
+    resolved = resolve_scale(scale)
+    rows = []
+    small = ["cs", "glimpse", "sprite", "zipf", "random", "multi"]
+    large = ["random", "zipf", "httpd", "dev1", "tpcc1"]
+    multi = ["httpd", "openmail", "db2"]
+
+    def include(name: str, family: str) -> bool:
+        return only is None or name in only or family in only
+
+    for name in small:
+        if not include(name, "small"):
+            continue
+        trace = make_small_workload(name, scale=max(0.01, resolved.geometry * 16))
+        rows.append([f"small/{name}"] + _stat_row(describe(trace)))
+    for name in large:
+        if not include(name, "large"):
+            continue
+        trace = make_large_workload(
+            name,
+            scale=resolved.geometry,
+            num_refs=resolved.references(F6_REFS[name]),
+        )
+        rows.append([f"large/{name}"] + _stat_row(describe(trace)))
+    for name in multi:
+        if not include(name, "multi"):
+            continue
+        trace = make_multi_workload(
+            name,
+            scale=resolved.geometry * EXTRA_GEOMETRY[name],
+            num_refs=resolved.references(F7_REFS[name]),
+        )
+        rows.append([f"multi/{name}"] + _stat_row(describe(trace)))
+    return format_table(
+        ["workload", "refs", "blocks", "clients", "reuse",
+         "mean dist", "median dist", "sharing"],
+        rows,
+        title=f"Generated workloads @ scale={scale}",
+    )
+
+
+def _stat_row(stats) -> List[object]:
+    return [
+        stats.num_refs,
+        stats.num_unique_blocks,
+        stats.num_clients,
+        round(stats.reuse_fraction, 3),
+        round(stats.mean_reuse_distance, 1),
+        round(stats.median_reuse_distance, 1),
+        round(stats.sharing_fraction, 3),
+    ]
+
+
+def _run_experiment(name: str, scale: str, workloads: Optional[List[str]]) -> str:
+    if name == "workloads":
+        return _describe_workloads(scale, workloads)
+    if name in ("figure2", "figure3", "table1"):
+        result = run_section2(scale, workloads or SECTION2_WORKLOADS)
+        if name == "figure2":
+            return result.render_figure2()
+        if name == "figure3":
+            return result.render_figure3()
+        return result.render_table1()
+    if name == "figure6":
+        return run_figure6(scale, workloads or FIGURE6_WORKLOADS).render()
+    if name == "figure7":
+        return run_figure7(scale, workloads or FIGURE7_WORKLOADS).render()
+    if name == "ablations":
+        return "\n\n".join(a.render() for a in run_all_ablations(scale))
+    if name == "all":
+        parts = []
+        for sub in ("figure2", "figure3", "table1", "figure6", "figure7",
+                    "ablations"):
+            parts.append(_run_experiment(sub, scale, None))
+        return "\n\n".join(parts)
+    raise UnknownExperimentError(
+        f"unknown experiment {name!r}; available: {EXPERIMENTS}"
+    )
+
+
+def _run_simulate(args: argparse.Namespace) -> str:
+    """The ``simulate`` command: one scheme, one trace, full report."""
+    from repro.hierarchy import make_scheme
+    from repro.sim import (
+        custom,
+        paper_three_level,
+        paper_two_level,
+        run_simulation,
+    )
+    from repro.util.tables import format_table
+    from repro.workloads import load_npz, load_text, make_large_workload
+
+    if args.trace is not None:
+        if str(args.trace).endswith(".npz"):
+            trace = load_npz(args.trace)
+        else:
+            trace = load_text(args.trace)
+    else:
+        trace = make_large_workload(
+            args.workload, num_refs=args.refs
+        )
+    num_clients = args.clients if args.clients else trace.num_clients
+    scheme = make_scheme(args.scheme, list(args.levels), num_clients)
+    if len(args.levels) == 3:
+        costs = paper_three_level()
+    elif len(args.levels) == 2:
+        costs = paper_two_level()
+    else:
+        costs = custom(
+            [0.0] + [1.0] * (len(args.levels) - 1),
+            11.2,
+            [1.0] * (len(args.levels) - 1),
+        )
+    result = run_simulation(scheme, trace, costs, args.warmup)
+    rows = [
+        ["scheme", scheme.describe()],
+        ["workload", f"{trace.info.name} ({result.references} refs measured)"],
+        ["total hit rate", f"{result.total_hit_rate:.4f}"],
+        ["miss rate", f"{result.miss_rate:.4f}"],
+    ]
+    for level, rate in enumerate(result.level_hit_rates, start=1):
+        rows.append([f"L{level} hit rate", f"{rate:.4f}"])
+    for boundary, rate in enumerate(result.demotion_rates, start=1):
+        rows.append([f"B{boundary} demotion rate", f"{rate:.4f}"])
+    rows.append(["T_ave (ms)", f"{result.t_ave_ms:.4f}"])
+    rows.append(["  hit part", f"{result.t_hit_ms:.4f}"])
+    rows.append(["  miss part", f"{result.t_miss_ms:.4f}"])
+    rows.append(["  demotion part", f"{result.t_demotion_ms:.4f}"])
+    return format_table(["metric", "value"], rows, title="simulation result")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ulc-repro",
+        description=(
+            "Reproduce the figures and tables of 'ULC: A File Block "
+            "Placement and Replacement Protocol ...' (ICDCS 2004)."
+        ),
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument(
+        "--scale",
+        default="bench",
+        choices=["tiny", "bench", "paper"],
+        help="experiment size preset (default: bench)",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="restrict to these workloads (experiment-specific names)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the report to this file",
+    )
+    simulate = parser.add_argument_group("simulate options")
+    simulate.add_argument(
+        "--scheme",
+        default="ulc",
+        help="scheme registry name (simulate; default: ulc)",
+    )
+    simulate.add_argument(
+        "--levels",
+        nargs="+",
+        type=int,
+        default=[800, 800, 800],
+        metavar="BLOCKS",
+        help="cache size of each level in blocks (simulate)",
+    )
+    simulate.add_argument(
+        "--trace",
+        default=None,
+        help="trace file (.npz or text) to replay (simulate)",
+    )
+    simulate.add_argument(
+        "--workload",
+        default="zipf",
+        help="generated workload when no --trace is given (simulate)",
+    )
+    simulate.add_argument(
+        "--refs",
+        type=int,
+        default=100_000,
+        help="references to generate when no --trace is given (simulate)",
+    )
+    simulate.add_argument(
+        "--clients",
+        type=int,
+        default=0,
+        help="number of clients (simulate; 0 = from the trace)",
+    )
+    simulate.add_argument(
+        "--warmup",
+        type=float,
+        default=0.1,
+        help="warm-up fraction (simulate; default 0.1)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    started = time.time()
+    try:
+        if args.experiment == "simulate":
+            report = _run_simulate(args)
+        elif args.experiment == "classify":
+            report = _run_classify(args)
+        else:
+            report = _run_experiment(
+                args.experiment, args.scale, args.workloads
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.time() - started
+    print(report)
+    print(
+        f"\n[{args.experiment} @ scale={args.scale} in {elapsed:.1f}s]",
+        file=sys.stderr,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Protocol event types shared by the single- and multi-client engines.
+
+The core engines report *what happened* — where a reference was served
+from, where the block was placed, which demotions the placement forced —
+and leave all timing/cost interpretation to :mod:`repro.sim.costs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.policies.base import Block
+
+
+@dataclass(frozen=True)
+class Demotion:
+    """One block transfer down the hierarchy (level ``src`` to ``dst``).
+
+    ``dst`` may be ``num_levels + 1``, meaning the block fell out of the
+    hierarchy (an eviction — no data actually moves, only a discard
+    instruction).
+    """
+
+    block: Block
+    src: int
+    dst: int
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """Outcome of one block reference processed by a caching engine.
+
+    Attributes:
+        block: the referenced block.
+        client: issuing client (0 in single-client structures).
+        hit_level: 1-based level that served the block, ``None`` on a
+            miss (served from disk).
+        served_from_temp: True when the block was served from the
+            client's tempLRU buffer (counts as a level-1 hit with no
+            network transfer).
+        placed_level: level the block was directed to be cached at
+            (``None`` when the protocol decided not to cache it — L_out).
+        demotions: block transfers down the hierarchy triggered by this
+            reference, in the order they were issued.
+        evicted: blocks that left the bottom of the hierarchy entirely.
+        control_messages: number of control messages (demote
+            instructions, eviction notices) that could not be piggybacked
+            on the data path.
+    """
+
+    block: Block
+    client: int = 0
+    hit_level: Optional[int] = None
+    served_from_temp: bool = False
+    placed_level: Optional[int] = None
+    demotions: Tuple[Demotion, ...] = ()
+    evicted: Tuple[Block, ...] = ()
+    control_messages: int = 0
+
+    @property
+    def hit(self) -> bool:
+        """Whether the reference was served from some cache level."""
+        return self.hit_level is not None
+
+    def demotion_count(self, src: int) -> int:
+        """Number of demotions leaving level ``src`` in this event."""
+        return sum(1 for d in self.demotions if d.src == src)

@@ -1,0 +1,95 @@
+"""The four locality-strength measures of paper Section 2.
+
+For each reference position ``t`` in a trace these helpers compute:
+
+- **R** (recency): the block's LRU-stack position at the access — the
+  number of distinct blocks referenced since its previous reference
+  (``NO_VALUE`` on first access).
+- **ND** (next distance): when the block will be referenced next (we use
+  the absolute next-reference time, which induces the same ordering as
+  the paper's "period of time between the current reference and the next
+  reference" while staying constant between updates).
+- **NLD** (next locality distance): the recency the block *will have* at
+  its next reference — R of the next reference, attributed to this one.
+- **LLD** (last locality distance): the recency at which the block was
+  last accessed; together with the current R it forms the online
+  **LLD-R** measure ``max(LLD, R)`` that ULC is built on.
+
+All are computed with a Fenwick tree over access timestamps in
+O(n log n) total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.policies.base import Block
+from repro.util.fenwick import FenwickTree
+
+#: Marker for "no value": first access (R, LLD) or no next access (ND, NLD).
+NO_VALUE = -1
+
+
+def recencies_at_access(blocks: Sequence[Block]) -> np.ndarray:
+    """R at each reference: LRU stack distance, ``NO_VALUE`` on first use.
+
+    The value at position ``t`` is also, by definition, the **LLD** the
+    block carries *after* reference ``t`` until its next reference.
+    """
+    blocks = list(blocks)
+    n = len(blocks)
+    tree = FenwickTree(n)
+    last_slot: Dict[Block, int] = {}
+    out = np.full(n, NO_VALUE, dtype=np.int64)
+    for t, block in enumerate(blocks):
+        slot = last_slot.get(block)
+        if slot is not None:
+            out[t] = tree.range_sum(slot + 1, n - 1)
+            tree.add(slot, -1)
+        tree.add(t, 1)
+        last_slot[block] = t
+    return out
+
+
+def next_reference_times(blocks: Sequence[Block]) -> np.ndarray:
+    """ND surrogate at each reference: index of the next reference to the
+    same block, ``NO_VALUE`` when there is none."""
+    blocks = list(blocks)
+    n = len(blocks)
+    out = np.full(n, NO_VALUE, dtype=np.int64)
+    last_seen: Dict[Block, int] = {}
+    for t in range(n - 1, -1, -1):
+        block = blocks[t]
+        if block in last_seen:
+            out[t] = last_seen[block]
+        last_seen[block] = t
+    return out
+
+
+def nld_values(blocks: Sequence[Block]) -> np.ndarray:
+    """NLD at each reference: the recency of the *next* reference to the
+    same block, ``NO_VALUE`` when the block is never referenced again."""
+    recencies = recencies_at_access(blocks)
+    next_ref = next_reference_times(blocks)
+    out = np.full(len(recencies), NO_VALUE, dtype=np.int64)
+    has_next = next_ref != NO_VALUE
+    out[has_next] = recencies[next_ref[has_next]]
+    return out
+
+
+def lld_r(lld: int, recency: int) -> int:
+    """The online LLD-R measure: ``max(LLD, R)``.
+
+    "We use the larger of LLD and R to simulate NLD" — R takes over once
+    the block has gone unreferenced longer than its last locality
+    distance, which restores responsiveness to cooling blocks.
+    ``NO_VALUE`` (first access) propagates: a block with no LLD is
+    measured purely by its recency.
+    """
+    if lld == NO_VALUE:
+        return recency
+    if recency == NO_VALUE:
+        return lld
+    return max(lld, recency)

@@ -1,0 +1,210 @@
+"""The single-client ULC protocol engine (paper Section 3.2.1).
+
+The engine runs at the client (level 1) and directs the whole hierarchy:
+for every reference it decides which level should cache the block
+(``Retrieve(b, i, j)``) and which blocks must move down to make room
+(``Demote(b, i, i+1)``), based on the block's position in the
+uniLRUstack relative to the yardsticks.
+
+Decision rule for a reference to block ``b`` with level status ``L_i``
+and recency status ``R_j`` (the paper guarantees ``i >= j``):
+
+- ``i == j``: the block stays where it is (``Retrieve(b, i, i)``); its
+  stack entry moves to the top.
+- ``i > j``: the block's last locality distance says it belongs at the
+  higher level ``j`` (``Retrieve(b, i, j)``); one slot must be freed at
+  level ``j``, which demotes yardstick blocks down the chain
+  ``j -> j+1 -> ...`` until the slot vacated at level ``i`` absorbs the
+  cascade (demotion out of the last level is an eviction).
+- not tracked (first access or long-since pruned): ``L_out``; while some
+  level still has spare capacity the block fills the highest such level,
+  otherwise it is not cached at all and passes through the client's
+  small tempLRU buffer.
+
+The engine only manipulates metadata and emits :class:`AccessEvent`s;
+costs are attached later by the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.events import AccessEvent, Demotion
+from repro.core.stack import StackNode, UniLRUStack
+from repro.errors import ConfigurationError
+from repro.policies.base import Block
+from repro.policies.lru import LRUPolicy
+from repro.util.validation import check_int, check_non_negative
+
+
+class ULCClient:
+    """Client-resident engine implementing single-client ULC.
+
+    Args:
+        capacities: block capacity of each level, client first.
+        templru_capacity: size of the client's tempLRU buffer holding
+            passing-through blocks (those not cached at level 1). The
+            paper only calls it "small"; 16 blocks is our default.
+        max_metadata: optional bound on uniLRUstack entries (Section 5
+            metadata trimming).
+    """
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        templru_capacity: int = 16,
+        max_metadata: Optional[int] = None,
+    ) -> None:
+        check_int("templru_capacity", templru_capacity)
+        check_non_negative("templru_capacity", templru_capacity)
+        self.stack = UniLRUStack(capacities, max_size=max_metadata)
+        self.capacities = self.stack.capacities
+        self.num_levels = self.stack.num_levels
+        self._temp: Optional[LRUPolicy] = (
+            LRUPolicy(templru_capacity) if templru_capacity > 0 else None
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def cached_level(self, block: Block) -> Optional[int]:
+        """Level currently holding ``block`` (``None`` if uncached)."""
+        node = self.stack.lookup(block)
+        if node is None or node.level == self.stack.out_level:
+            return None
+        return node.level
+
+    def resident_blocks(self, level: int) -> List[Block]:
+        """Blocks cached at ``level`` (most recently ranked first)."""
+        return self.stack.level_blocks(level)
+
+    # -- the protocol ----------------------------------------------------------
+
+    def access(self, block: Block, client: int = 0) -> AccessEvent:
+        """Process one reference and return the resulting event."""
+        node = self.stack.lookup(block)
+        in_temp = self._temp is not None and block in self._temp
+
+        if node is None:
+            event = self._access_untracked(block, client, in_temp)
+        else:
+            event = self._access_tracked(node, client, in_temp)
+
+        self._maintain_temp(block, event)
+        return event
+
+    def _access_untracked(
+        self, block: Block, client: int, in_temp: bool
+    ) -> AccessEvent:
+        """First access (or access after pruning): L_out / R_out."""
+        fill_level = self.stack.first_unfilled_level()
+        if fill_level is None:
+            # All caches full: the block is not cached anywhere.
+            self.stack.insert_new(block, self.stack.out_level)
+            return AccessEvent(
+                block=block,
+                client=client,
+                hit_level=1 if in_temp else None,
+                served_from_temp=in_temp,
+                placed_level=None,
+            )
+        self.stack.insert_new(block, fill_level)
+        return AccessEvent(
+            block=block,
+            client=client,
+            hit_level=1 if in_temp else None,
+            served_from_temp=in_temp,
+            placed_level=fill_level,
+        )
+
+    def _access_tracked(
+        self, node: StackNode, client: int, in_temp: bool
+    ) -> AccessEvent:
+        """Reference to a block with a live stack entry."""
+        out = self.stack.out_level
+        level_status = node.level  # i
+        region = self.stack.recency_region(node)  # j
+
+        # The stack construction guarantees i >= j for cached blocks
+        # (see UniLRUStack docs); for L_out blocks i is out_level.
+        new_level = region if region != out else None
+
+        if new_level is None:
+            # Re-reference of an uncached block whose recency fell below
+            # every yardstick: behave like a fresh L_out block.
+            fill_level = self.stack.first_unfilled_level()
+            target = fill_level if fill_level is not None else out
+            self.stack.touch(node, target)
+            return AccessEvent(
+                block=node.block,
+                client=client,
+                hit_level=1 if in_temp else None,
+                served_from_temp=in_temp,
+                placed_level=fill_level,
+            )
+
+        hit_level: Optional[int]
+        if level_status == out:
+            hit_level = None  # retrieved from disk
+        else:
+            hit_level = level_status
+
+        demotions: List[Demotion] = []
+        evicted: List[Block] = []
+
+        # Move the entry to the stack top with its new level status. The
+        # departure from level i frees the slot that terminates the
+        # demotion cascade.
+        self.stack.touch(node, new_level)
+
+        # Free space at the target level: demote yardstick blocks down
+        # the chain while any level is over capacity (Retrieve(b, i, j)
+        # with i > j; no cascade runs when i == j).
+        level = new_level
+        while (
+            level <= self.num_levels
+            and self.stack.level_size(level) > self.capacities[level - 1]
+        ):
+            victim = self.stack.demote_tail(level)
+            demotions.append(Demotion(victim.block, level, level + 1))
+            if victim.level == out:
+                evicted.append(victim.block)
+            level += 1
+
+        if in_temp:
+            hit_level = 1
+
+        return AccessEvent(
+            block=node.block,
+            client=client,
+            hit_level=hit_level,
+            served_from_temp=in_temp,
+            placed_level=new_level,
+            demotions=tuple(demotions),
+            evicted=tuple(evicted),
+        )
+
+    def _maintain_temp(self, block: Block, event: AccessEvent) -> None:
+        """Keep the tempLRU holding blocks that pass through the client
+        without being cached at level 1."""
+        if self._temp is None:
+            return
+        if event.placed_level == 1:
+            # Cached at the client proper: no temp copy needed.
+            if block in self._temp:
+                self._temp.remove(block)
+            return
+        if block in self._temp:
+            self._temp.touch(block)
+        else:
+            self._temp.insert(block)
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate the underlying stack invariants (tests)."""
+        self.stack.check_invariants()
+        for level in range(1, self.num_levels + 1):
+            if self.stack.level_size(level) > self.capacities[level - 1]:
+                raise ConfigurationError(
+                    f"level {level} over capacity after access"
+                )

@@ -1,0 +1,395 @@
+"""The uniLRUstack — ULC's central data structure (paper Section 3.2).
+
+The stack tracks metadata for recently accessed blocks: a *level status*
+(which cache level holds the block, or ``L_out``) and enough ordering
+information to derive the *recency status* (which yardstick region the
+block currently sits in).
+
+Representation
+--------------
+
+The paper describes one global LRU stack with per-level yardstick markers
+``Y_1 .. Y_n`` plus implicit per-level stacks ``LRU_i``. We exploit two
+structural facts to keep every operation O(1):
+
+1. Nodes only ever *enter at the top* of the global stack (on access);
+   they never move downwards relative to each other. Hence global stack
+   order is exactly descending order of a per-node sequence number
+   stamped at the last access, and comparing two nodes' recencies is an
+   O(1) integer comparison.
+
+2. The yardstick ``Y_i`` is *defined* as the level-``i`` block with
+   maximal recency — which is simply the tail of the per-level list
+   ``LRU_i`` when that list is kept in descending sequence order.
+   Keeping explicit ``LRU_i`` lists therefore subsumes both
+   *YardStickAdjustment* (the tail pointer moves by itself when the tail
+   node leaves) and gives O(1) victim lookup.
+
+The *recency status* ``R_j`` of a node is then a pure function of its
+sequence number and the yardstick sequence numbers: the smallest ``j``
+with ``seq(node) >= seq(Y_j)``. Because a level-``i`` node is always at
+or above its own yardstick, ``R_j <= L_i`` holds by construction — the
+invariant the paper states as "the case i < j is not possible".
+
+*DemotionSearching* appears as :meth:`UniLRUStack.demote_tail`: a demoted
+node is inserted into the next level's list at its sequence-sorted
+position, scanning from the tail (the paper's "searches in the direction
+towards the stack bottom ... for next block with a higher level status").
+
+Blocks below ``Y_n`` are pruned from the global stack and forgotten
+(level ``L_out``), keeping metadata proportional to the aggregate cache
+size plus the transient ``L_out`` region above ``Y_n``; an optional hard
+bound (:attr:`UniLRUStack.max_size`) implements the metadata trimming
+discussed in the paper's Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.policies.base import Block
+from repro.util.linkedlist import DoublyLinkedList, ListNode
+from repro.util.validation import check_int, check_positive
+
+
+class StackNode:
+    """Metadata entry for one block.
+
+    ``level`` is 1-based; ``stack.out_level`` (``num_levels + 1``) means
+    the block is not cached at any level (``L_out``).
+    """
+
+    __slots__ = ("block", "level", "seq", "global_node", "level_node")
+
+    def __init__(self, block: Block, level: int, seq: int) -> None:
+        self.block = block
+        self.level = level
+        self.seq = seq
+        self.global_node: Optional[ListNode["StackNode"]] = None
+        self.level_node: Optional[ListNode["StackNode"]] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StackNode(block={self.block!r}, L{self.level}, seq={self.seq})"
+
+
+class UniLRUStack:
+    """The unified LRU stack with per-level yardsticks.
+
+    Args:
+        capacities: cache size (in blocks) of each level, top (client)
+            first.
+        max_size: optional hard bound on tracked metadata entries; when
+            exceeded, the coldest entries are trimmed (Section 5's
+            metadata trimming). ``None`` means unbounded (default).
+    """
+
+    def __init__(
+        self, capacities: Sequence[int], max_size: Optional[int] = None
+    ) -> None:
+        capacities = list(capacities)
+        if not capacities:
+            raise ConfigurationError("at least one cache level is required")
+        for index, capacity in enumerate(capacities):
+            check_int(f"capacities[{index}]", capacity)
+            check_positive(f"capacities[{index}]", capacity)
+        if max_size is not None:
+            check_int("max_size", max_size)
+            if max_size < sum(capacities):
+                raise ConfigurationError(
+                    "max_size must be at least the aggregate cache size "
+                    f"({sum(capacities)}), got {max_size}"
+                )
+        self.capacities = capacities
+        self.num_levels = len(capacities)
+        self.out_level = self.num_levels + 1
+        self.max_size = max_size
+        self._seq = 0
+        self._global: DoublyLinkedList[StackNode] = DoublyLinkedList()
+        self._levels: List[DoublyLinkedList[StackNode]] = [
+            DoublyLinkedList() for _ in range(self.num_levels)
+        ]
+        self._nodes: Dict[Block, StackNode] = {}
+
+    # -- basic queries -----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of tracked metadata entries."""
+        return len(self._nodes)
+
+    def __contains__(self, block: Block) -> bool:
+        return block in self._nodes
+
+    def lookup(self, block: Block) -> Optional[StackNode]:
+        """The node for ``block``, or ``None`` if not tracked."""
+        return self._nodes.get(block)
+
+    def level_size(self, level: int) -> int:
+        """Number of blocks currently assigned to ``level`` (1-based)."""
+        return len(self._levels[level - 1])
+
+    def level_blocks(self, level: int) -> List[Block]:
+        """Blocks of one level, most recent first (O(size); for tests)."""
+        return [node.value.block for node in self._levels[level - 1]]
+
+    def colder_neighbour(self, node: StackNode) -> Optional[StackNode]:
+        """The next-colder block in ``node``'s level list, or ``None``.
+
+        Used by the multi-client protocol to tell the server where a
+        demoted block ranks among the client's other server blocks.
+        """
+        if node.level_node is None:
+            raise ProtocolError(f"block {node.block!r} is not in a level list")
+        neighbour = self._levels[node.level - 1].next_towards_tail(node.level_node)
+        return neighbour.value if neighbour is not None else None
+
+    def warmer_neighbour(self, node: StackNode) -> Optional[StackNode]:
+        """The next-warmer block in ``node``'s level list, or ``None``."""
+        if node.level_node is None:
+            raise ProtocolError(f"block {node.block!r} is not in a level list")
+        neighbour = self._levels[node.level - 1].next_towards_head(node.level_node)
+        return neighbour.value if neighbour is not None else None
+
+    def yardstick(self, level: int) -> Optional[StackNode]:
+        """``Y_level``: the level's maximal-recency block (its victim)."""
+        tail = self._levels[level - 1].tail
+        return tail.value if tail is not None else None
+
+    def first_unfilled_level(self) -> Optional[int]:
+        """Highest level with spare capacity, or ``None`` when all full.
+
+        Implements the paper's initial placement rule: "if level L_i is
+        not full and the levels that are higher than it are full, any
+        requested L_out blocks get level status L_i".
+        """
+        for level in range(1, self.num_levels + 1):
+            if self.level_size(level) < self.capacities[level - 1]:
+                return level
+        return None
+
+    def recency_region(self, node: StackNode) -> int:
+        """The node's recency status ``R_j`` (``out_level`` for R_out).
+
+        ``R_j`` means the node's recency lies between yardsticks
+        ``Y_{j-1}`` and ``Y_j``; computed as the smallest ``j`` whose
+        yardstick is at or below the node.
+        """
+        for level in range(1, self.num_levels + 1):
+            mark = self.yardstick(level)
+            if mark is not None and node.seq >= mark.seq:
+                return level
+        return self.out_level
+
+    # -- mutations -----------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def insert_new(self, block: Block, level: int) -> StackNode:
+        """Track a block seen for the first time (or after pruning).
+
+        The node enters at the stack top with the given level status
+        (``out_level`` allowed).
+        """
+        if block in self._nodes:
+            raise ProtocolError(f"block {block!r} is already tracked")
+        node = StackNode(block, level, self._next_seq())
+        node.global_node = self._global.push_front(ListNode(node))
+        if level != self.out_level:
+            node.level_node = self._levels[level - 1].push_front(ListNode(node))
+        self._nodes[block] = node
+        self._enforce_max_size()
+        return node
+
+    def touch(self, node: StackNode, new_level: int) -> None:
+        """Move ``node`` to the stack top with level status ``new_level``.
+
+        This is the metadata effect of a reference: recency becomes the
+        smallest (status ``R_1``) and the level status is re-ranked to
+        ``new_level`` (the block's recency region at access time, per the
+        LLD rule).
+        """
+        assert node.global_node is not None
+        self._global.move_to_front(node.global_node)
+        node.seq = self._next_seq()
+        self._level_unlink(node)
+        node.level = new_level
+        if new_level != self.out_level:
+            node.level_node = self._levels[new_level - 1].push_front(
+                ListNode(node)
+            )
+        # The node's departure from its old position may have exposed
+        # L_out entries at the stack bottom (below the last yardstick).
+        self.prune()
+
+    def _level_unlink(self, node: StackNode) -> None:
+        if node.level_node is not None:
+            self._levels[node.level - 1].remove(node.level_node)
+            node.level_node = None
+
+    def demote_tail(self, level: int) -> StackNode:
+        """Demote ``Y_level``'s block one level down; returns its node.
+
+        Demoting from the last level marks the block ``L_out`` (it falls
+        out of every cache). The node keeps its stack position — a
+        demotion changes where a block is *cached*, not its recency. For
+        intermediate levels the node is placed at its sequence-sorted
+        position in the next level's list (*DemotionSearching*).
+        """
+        victim = self.yardstick(level)
+        if victim is None:
+            raise ProtocolError(f"demote_tail on empty level {level}")
+        self._level_unlink(victim)
+        if level >= self.num_levels:
+            victim.level = self.out_level
+            self.prune()
+            return victim
+        victim.level = level + 1
+        self._insert_sorted(victim, level + 1)
+        return victim
+
+    def _insert_sorted(self, node: StackNode, level: int) -> None:
+        """Insert into ``LRU_level`` keeping descending sequence order,
+        scanning from the tail (demoted nodes are usually the coldest)."""
+        target = self._levels[level - 1]
+        anchor = target.tail
+        while anchor is not None and anchor.value.seq < node.seq:
+            anchor = target.next_towards_head(anchor)
+        if anchor is None:
+            node.level_node = target.push_front(ListNode(node))
+        else:
+            node.level_node = target.insert_after(ListNode(node), anchor)
+
+    def relocate(self, node: StackNode, new_level: int) -> None:
+        """Move a node to another level *without* changing its recency.
+
+        This is the metadata effect of an externally decided demotion
+        (e.g. a shared tier pushing a block one tier down in the
+        multi-client n-level protocol): the block's cached location
+        changes, its stack position does not. The node enters the new
+        level's list at its recency-sorted slot.
+        """
+        if self._nodes.get(node.block) is not node:
+            raise ProtocolError(f"block {node.block!r} is not tracked")
+        if not 1 <= new_level <= self.num_levels:
+            raise ProtocolError(f"invalid level {new_level}")
+        self._level_unlink(node)
+        node.level = new_level
+        self._insert_sorted(node, new_level)
+
+    def evict(self, node: StackNode) -> None:
+        """Mark a cached node ``L_out`` in place (e.g. a server eviction
+        notice in the multi-client protocol)."""
+        if self._nodes.get(node.block) is not node:
+            raise ProtocolError(f"block {node.block!r} is not tracked")
+        if node.level == self.out_level:
+            raise ProtocolError(f"block {node.block!r} is already L_out")
+        self._level_unlink(node)
+        node.level = self.out_level
+        self.prune()
+
+    def forget(self, node: StackNode) -> None:
+        """Drop a node from the stack entirely."""
+        self._level_unlink(node)
+        if node.global_node is not None:
+            self._global.remove(node.global_node)
+            node.global_node = None
+        del self._nodes[node.block]
+
+    def prune(self) -> int:
+        """Remove ``L_out`` entries from the stack bottom.
+
+        After pruning, the bottom of the stack is a cached block — in
+        steady state exactly ``Y_n``, matching the paper's "the last
+        yardstick always sits in the bottom of uniLRUstack". Returns the
+        number of entries removed.
+        """
+        removed = 0
+        while self._global:
+            tail = self._global.tail
+            assert tail is not None
+            if tail.value.level != self.out_level:
+                break
+            self.forget(tail.value)
+            removed += 1
+        return removed
+
+    def _enforce_max_size(self) -> None:
+        """Trim the coldest ``L_out`` entries beyond ``max_size``.
+
+        This is the paper's Section-5 metadata trimming: "relatively cold
+        blocks (with low level statuses) can be trimmed from the stack
+        without compromising the ULC locality distinction ability".
+        Cached entries are never trimmed — their metadata is the cache
+        directory itself — so the effective floor is the aggregate cache
+        size (enforced at construction).
+        """
+        if self.max_size is None or len(self._nodes) <= self.max_size:
+            return
+        for global_node in self._global.iter_reverse():
+            if len(self._nodes) <= self.max_size:
+                break
+            if global_node.value.level == self.out_level:
+                self.forget(global_node.value)
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def stack_blocks(self) -> List[Block]:
+        """Global stack contents, top first (O(n); tests/debugging)."""
+        return [node.value.block for node in self._global]
+
+    def check_invariants(self, enforce_capacity: bool = True) -> None:
+        """Validate all structural invariants; raises ProtocolError.
+
+        Used heavily by the property tests. Checks:
+
+        - per-level lists are in strictly descending sequence order,
+        - level sizes never exceed capacities (skippable for elastic
+          levels, e.g. a multi-client view of a shared server),
+        - global stack is in strictly descending sequence order,
+        - every cached node is in exactly one level list,
+        - recency status never exceeds level status (paper: "i < j is
+          not possible"),
+        - the stack bottom is a cached block (post-prune).
+        """
+        seen = 0
+        previous_seq = None
+        for global_node in self._global:
+            node = global_node.value
+            if previous_seq is not None and node.seq >= previous_seq:
+                raise ProtocolError("global stack out of sequence order")
+            previous_seq = node.seq
+            seen += 1
+        if seen != len(self._nodes):
+            raise ProtocolError("global stack and node index disagree")
+
+        for level in range(1, self.num_levels + 1):
+            if (
+                enforce_capacity
+                and self.level_size(level) > self.capacities[level - 1]
+            ):
+                raise ProtocolError(f"level {level} exceeds its capacity")
+            previous_seq = None
+            for level_node in self._levels[level - 1]:
+                node = level_node.value
+                if node.level != level:
+                    raise ProtocolError(
+                        f"node {node.block!r} in level list {level} has "
+                        f"level status {node.level}"
+                    )
+                if previous_seq is not None and node.seq >= previous_seq:
+                    raise ProtocolError(f"level {level} list out of order")
+                previous_seq = node.seq
+
+        for node in self._nodes.values():
+            region = self.recency_region(node)
+            if node.level != self.out_level and region > node.level:
+                raise ProtocolError(
+                    f"node {node.block!r}: recency status R_{region} exceeds "
+                    f"level status L_{node.level}"
+                )
+
+        bottom = self._global.tail
+        if bottom is not None and bottom.value.level == self.out_level:
+            raise ProtocolError("stack bottom is an un-pruned L_out entry")

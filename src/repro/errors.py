@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ULC reproduction library.
+
+Every error raised intentionally by :mod:`repro` derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class ProtocolError(ReproError):
+    """A caching protocol invariant was violated at runtime.
+
+    Raised when an internal consistency check fails (for example a block
+    whose recency status exceeds its level status in the ULC stack). This
+    always indicates a bug in the protocol implementation, never bad user
+    input, which is why it is kept distinct from
+    :class:`ConfigurationError`.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed."""
+
+
+class UnknownPolicyError(ConfigurationError):
+    """A replacement policy name was not found in the registry."""
+
+
+class UnknownExperimentError(ConfigurationError):
+    """An experiment name was not found in the experiment registry."""

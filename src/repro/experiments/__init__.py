@@ -1,0 +1,67 @@
+"""Canonical experiment definitions — one per paper figure/table.
+
+Each experiment is parameterised by a :class:`repro.experiments.scaling.Scale`
+preset (``tiny`` / ``bench`` / ``paper``) and is shared by the test
+suite, the benchmark harness and the CLI, so every consumer regenerates
+the same tables.
+"""
+
+from repro.experiments.ablations import (
+    AblationResult,
+    run_congestion,
+    run_all_ablations,
+    run_demotion_vs_eviction,
+    run_level_ratio_sweep,
+    run_locality_filtering,
+    run_metadata_trimming,
+    run_notification_modes,
+    run_partitioning,
+    run_placement_stability,
+    run_reload_window,
+    run_templru_sweep,
+)
+from repro.experiments.figure6 import (
+    FIGURE6_WORKLOADS,
+    Figure6Result,
+    run_figure6,
+)
+from repro.experiments.figure7 import (
+    FIGURE7_WORKLOADS,
+    Figure7Result,
+    run_figure7,
+)
+from repro.experiments.scaling import BENCH, PAPER, TINY, Scale, resolve_scale
+from repro.experiments.section2 import (
+    SECTION2_WORKLOADS,
+    Section2Result,
+    run_section2,
+)
+
+__all__ = [
+    "Scale",
+    "resolve_scale",
+    "TINY",
+    "BENCH",
+    "PAPER",
+    "run_section2",
+    "Section2Result",
+    "SECTION2_WORKLOADS",
+    "run_figure6",
+    "Figure6Result",
+    "FIGURE6_WORKLOADS",
+    "run_figure7",
+    "Figure7Result",
+    "FIGURE7_WORKLOADS",
+    "AblationResult",
+    "run_all_ablations",
+    "run_demotion_vs_eviction",
+    "run_reload_window",
+    "run_templru_sweep",
+    "run_notification_modes",
+    "run_metadata_trimming",
+    "run_level_ratio_sweep",
+    "run_partitioning",
+    "run_locality_filtering",
+    "run_placement_stability",
+    "run_congestion",
+]

@@ -1,0 +1,628 @@
+"""Experiments E7–E9: ablations of the design choices.
+
+- **Demotion vs eviction-based placement** (related work [15], and the
+  paper's own "even if we assume the demotions could be moved off the
+  critical path" analysis in Section 4.3): re-cost the same uniLRU and
+  ULC runs with demotion transfers free, and report the off-path reload
+  traffic that an eviction-based scheme would push to the disks instead.
+- **tempLRU size**: how large the client's pass-through buffer needs to
+  be (Section 3.2 only says "small").
+- **Eviction notification**: delayed/piggybacked (free) vs immediate
+  (one control message per eviction, costed at half a LAN round trip).
+- **Metadata trimming**: bounding the uniLRUstack (Section 5) and its
+  effect on the hit rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.multi import NOTIFY_IMMEDIATE, NOTIFY_PIGGYBACK
+from repro.experiments.scaling import Scale, resolve_scale
+from repro.hierarchy import ULCMultiScheme, ULCScheme, UnifiedLRUScheme
+from repro.sim import (
+    CostModel,
+    RunResult,
+    custom,
+    paper_three_level,
+    run_simulation,
+)
+from repro.util.tables import format_table
+from repro.workloads import make_large_workload, make_multi_workload
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """A labelled table of runs."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+
+def _zero_demotion_costs() -> CostModel:
+    base = paper_three_level()
+    return custom(base.hit_times, base.miss_time, [0.0, 0.0])
+
+
+def run_demotion_vs_eviction(
+    scale: Union[str, Scale] = "bench",
+    workload: str = "tpcc1",
+) -> AblationResult:
+    """E7: what demotion traffic costs, and what hiding it would buy.
+
+    Eviction-based placement (Chen et al. 2003) avoids client-to-server
+    demotion transfers by reloading evicted blocks from disk; its best
+    case equals zero on-path demotion cost plus one disk reload per
+    demotion pushed off the critical path.
+    """
+    from repro.experiments.figure6 import BASELINE_REFS, cache_blocks
+
+    scale = resolve_scale(scale)
+    trace = make_large_workload(
+        workload,
+        scale=scale.geometry,
+        num_refs=scale.references(BASELINE_REFS[workload]),
+    )
+    capacity = cache_blocks(workload, scale)
+    on_path = paper_three_level()
+    off_path = _zero_demotion_costs()
+
+    rows = []
+    for name, scheme_factory in [
+        ("uniLRU", lambda: UnifiedLRUScheme([capacity] * 3)),
+        ("ULC", lambda: ULCScheme([capacity] * 3)),
+    ]:
+        result = run_simulation(scheme_factory(), trace, on_path)
+        demotions_per_ref = sum(result.demotion_rates)
+        rows.append(
+            [
+                name,
+                result.t_ave_ms,
+                result.t_ave_ms - result.t_demotion_ms,
+                result.demotion_fraction_of_time,
+                demotions_per_ref,
+            ]
+        )
+    return AblationResult(
+        title=(
+            f"E7 [{workload}]: demotion on the critical path vs hidden "
+            "(eviction-based best case); off-path reloads shift the same "
+            "traffic to the disks"
+        ),
+        headers=[
+            "scheme",
+            "T_ave (demote on-path)",
+            "T_ave (demote hidden)",
+            "demotion share of T_ave",
+            "reloads/ref if eviction-based",
+        ],
+        rows=rows,
+    )
+
+
+def run_reload_window(
+    scale: Union[str, Scale] = "bench",
+    workload: str = "tpcc1",
+    delays: Sequence[int] = (0, 16, 128, 1024),
+) -> AblationResult:
+    """E7b: eviction-based placement as a real scheme.
+
+    Runs :class:`repro.hierarchy.eviction_based.EvictionBasedScheme`
+    (reload-from-disk placement) across reload windows against the
+    demotion-based uniLRU on a two-level structure, reporting access
+    time, the reload traffic pushed to the disks, and how the window
+    erodes the layout's usefulness.
+    """
+    from repro.experiments.figure6 import BASELINE_REFS, cache_blocks
+    from repro.hierarchy import EvictionBasedScheme, UnifiedLRUMultiScheme
+
+    scale = resolve_scale(scale)
+    trace = make_large_workload(
+        workload,
+        scale=scale.geometry,
+        num_refs=scale.references(BASELINE_REFS[workload]),
+    )
+    capacity = cache_blocks(workload, scale)
+    costs = custom([0.0, 1.0], 11.2, [1.0])
+    rows: List[List[object]] = []
+
+    demote = UnifiedLRUMultiScheme([capacity, 2 * capacity])
+    result = run_simulation(demote, trace, costs)
+    rows.append(
+        [
+            "uniLRU demote",
+            result.t_ave_ms,
+            result.total_hit_rate,
+            sum(result.demotion_rates),
+            0.0,
+        ]
+    )
+    for delay in delays:
+        scheme = EvictionBasedScheme(
+            [capacity, 2 * capacity], reload_delay=int(delay)
+        )
+        result = run_simulation(scheme, trace, costs)
+        rows.append(
+            [
+                f"reload (window {int(delay)})",
+                result.t_ave_ms,
+                result.total_hit_rate,
+                0.0,
+                scheme.reloads / max(1, len(trace)),
+            ]
+        )
+    return AblationResult(
+        title=(
+            f"E7b [{workload}]: demotion transfers vs reload-from-disk "
+            "placement (two-level structure)"
+        ),
+        headers=["scheme", "T_ave", "total hit rate",
+                 "demotions/ref", "reloads/ref"],
+        rows=rows,
+    )
+
+
+def run_templru_sweep(
+    scale: Union[str, Scale] = "bench",
+    workload: str = "zipf",
+    sizes: Sequence[int] = (0, 1, 4, 16, 64),
+) -> AblationResult:
+    """E8a: sensitivity of ULC to the tempLRU buffer size."""
+    from repro.experiments.figure6 import BASELINE_REFS, cache_blocks
+
+    scale = resolve_scale(scale)
+    trace = make_large_workload(
+        workload,
+        scale=scale.geometry,
+        num_refs=scale.references(BASELINE_REFS[workload]),
+    )
+    capacity = cache_blocks(workload, scale)
+    costs = paper_three_level()
+    rows = []
+    for size in sizes:
+        scheme = ULCScheme([capacity] * 3, templru_capacity=int(size))
+        result = run_simulation(scheme, trace, costs)
+        rows.append(
+            [
+                int(size),
+                result.t_ave_ms,
+                result.total_hit_rate,
+                result.extras.get("temp_hits", 0.0) / max(1, result.references),
+            ]
+        )
+    return AblationResult(
+        title=f"E8a [{workload}]: ULC tempLRU size sweep",
+        headers=["tempLRU blocks", "T_ave", "total hit rate", "temp hits/ref"],
+        rows=rows,
+    )
+
+
+def run_notification_modes(
+    scale: Union[str, Scale] = "bench",
+    workload: str = "db2",
+    message_ms: float = 0.5,
+) -> AblationResult:
+    """E8b: delayed (piggybacked) vs immediate eviction notices."""
+    scale = resolve_scale(scale)
+    from repro.experiments.figure7 import (
+        BASELINE_REFS,
+        CLIENT_BLOCKS,
+        EXTRA_GEOMETRY,
+    )
+    from repro.workloads import NUM_CLIENTS
+
+    geometry = scale.geometry * EXTRA_GEOMETRY[workload]
+    trace = make_multi_workload(
+        workload,
+        scale=geometry,
+        num_refs=scale.references(BASELINE_REFS[workload]),
+    )
+    clients = NUM_CLIENTS[workload]
+    client_blocks = max(16, int(round(CLIENT_BLOCKS[workload] * geometry)))
+    server_blocks = client_blocks * clients
+    costs = custom([0.0, 1.0], 11.2, [1.0], message_time=message_ms)
+
+    rows = []
+    for mode in [NOTIFY_PIGGYBACK, NOTIFY_IMMEDIATE]:
+        scheme = ULCMultiScheme(
+            [client_blocks, server_blocks], clients, notify=mode
+        )
+        result = run_simulation(scheme, trace, costs)
+        messages = result.extras.get("control_messages", 0.0)
+        rows.append(
+            [
+                mode,
+                result.t_ave_ms,
+                messages / max(1, result.references),
+                result.total_hit_rate,
+            ]
+        )
+    return AblationResult(
+        title=(
+            f"E8b [{workload}]: eviction notification delayed/piggybacked "
+            f"vs immediate ({message_ms} ms per message)"
+        ),
+        headers=["mode", "T_ave", "messages/ref", "total hit rate"],
+        rows=rows,
+    )
+
+
+def run_metadata_trimming(
+    scale: Union[str, Scale] = "bench",
+    workload: str = "httpd",
+    factors: Sequence[Optional[float]] = (None, 4.0, 2.0, 1.5, 1.0),
+) -> AblationResult:
+    """E8c: bounding uniLRUstack metadata (Section 5 trimming).
+
+    ``factor`` bounds tracked entries to ``factor * aggregate`` blocks;
+    ``None`` is unbounded. The paper claims cold entries can be trimmed
+    "without compromising the ULC locality distinction ability".
+    """
+    from repro.experiments.figure6 import BASELINE_REFS, cache_blocks
+
+    scale = resolve_scale(scale)
+    trace = make_large_workload(
+        workload,
+        scale=scale.geometry,
+        num_refs=scale.references(BASELINE_REFS[workload]),
+    )
+    capacity = cache_blocks(workload, scale)
+    aggregate = capacity * 3
+    costs = paper_three_level()
+    rows = []
+    for factor in factors:
+        max_metadata = None if factor is None else int(aggregate * factor)
+        scheme = ULCScheme([capacity] * 3, max_metadata=max_metadata)
+        result = run_simulation(scheme, trace, costs)
+        rows.append(
+            [
+                "unbounded" if factor is None else f"{factor:g}x aggregate",
+                result.t_ave_ms,
+                result.total_hit_rate,
+                sum(result.demotion_rates),
+            ]
+        )
+    return AblationResult(
+        title=f"E8c [{workload}]: uniLRUstack metadata trimming",
+        headers=["metadata bound", "T_ave", "total hit rate", "demotions/ref"],
+        rows=rows,
+    )
+
+
+def run_level_ratio_sweep(
+    scale: Union[str, Scale] = "bench",
+    workload: str = "zipf",
+) -> AblationResult:
+    """E10: sensitivity to the distribution of one cache budget over levels.
+
+    Section 5 notes that buffer-cache hierarchies lack the 10x level-size
+    regularity of CPU caches — "a client buffer cache could even be
+    larger than the second level cache". This sweep fixes the aggregate
+    budget and redistributes it (client-heavy, equal, server-heavy,
+    array-heavy) to show that ULC exploits the aggregate regardless of
+    its shape, while indLRU's usefulness collapses when the capacity
+    sits low in the hierarchy.
+    """
+    from repro.experiments.figure6 import BASELINE_REFS, cache_blocks
+
+    scale = resolve_scale(scale)
+    trace = make_large_workload(
+        workload,
+        scale=scale.geometry,
+        num_refs=scale.references(BASELINE_REFS[workload]),
+    )
+    budget = cache_blocks(workload, scale) * 3
+    costs = paper_three_level()
+    shapes = {
+        "client-heavy (4:1:1)": [4, 1, 1],
+        "equal (1:1:1)": [1, 1, 1],
+        "server-heavy (1:4:1)": [1, 4, 1],
+        "array-heavy (1:1:4)": [1, 1, 4],
+    }
+    rows: List[List[object]] = []
+    for label, ratio in shapes.items():
+        total = sum(ratio)
+        capacities = [max(8, budget * part // total) for part in ratio]
+        from repro.hierarchy import (
+            IndependentScheme,
+            ULCScheme,
+            UnifiedLRUScheme,
+        )
+
+        for scheme in (
+            IndependentScheme(capacities),
+            UnifiedLRUScheme(capacities),
+            ULCScheme(capacities),
+        ):
+            result = run_simulation(scheme, trace, costs)
+            rows.append(
+                [
+                    label,
+                    result.scheme,
+                    result.total_hit_rate,
+                    sum(result.demotion_rates),
+                    result.t_ave_ms,
+                ]
+            )
+    return AblationResult(
+        title=(
+            f"E10 [{workload}]: one cache budget ({budget} blocks) "
+            "distributed differently over the three levels"
+        ),
+        headers=["shape", "scheme", "total hit rate",
+                 "demotions/ref", "T_ave"],
+        rows=rows,
+    )
+
+
+def run_partitioning(
+    scale: Union[str, Scale] = "bench",
+    workload: str = "openmail",
+) -> AblationResult:
+    """E11: dynamic (gLRU) vs static server partitioning.
+
+    Section 3.2.2 chooses a global LRU because "allocation should follow
+    the dynamic partition principle". This ablation runs the multi-client
+    ULC against the same protocol with fixed per-client server shares on
+    a workload whose clients have *unequal* working sets (openmail's
+    partitions plus skewed client request rates), and on the symmetric
+    db2 workload where static shares should be nearly optimal.
+    """
+    from repro.experiments.figure7 import (
+        BASELINE_REFS,
+        CLIENT_BLOCKS,
+        EXTRA_GEOMETRY,
+    )
+    from repro.hierarchy import ULCMultiScheme, ULCStaticPartitionScheme
+    from repro.sim import paper_two_level
+    from repro.workloads import NUM_CLIENTS
+
+    scale = resolve_scale(scale)
+    costs = paper_two_level()
+    rows: List[List[object]] = []
+    for name in (workload, "db2"):
+        geometry = scale.geometry * EXTRA_GEOMETRY[name]
+        trace = make_multi_workload(
+            name,
+            scale=geometry,
+            num_refs=scale.references(BASELINE_REFS[name]),
+        )
+        clients = NUM_CLIENTS[name]
+        client_blocks = max(16, int(round(CLIENT_BLOCKS[name] * geometry)))
+        server_blocks = client_blocks * clients
+        # Skew the request rates: make half the clients 4x as active by
+        # remapping client ids of a fraction of references.
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        ids = trace.clients.copy()
+        busy = ids % 2 == 0
+        move = (~busy) & (rng.random(len(ids)) < 0.75)
+        from repro.workloads import Trace
+
+        skewed = Trace(
+            trace.blocks,
+            np.where(move, ids % (clients // 2 * 2) // 2 * 2, ids),
+            trace.info,
+        )
+        for label, scheme in [
+            ("dynamic (gLRU)", ULCMultiScheme(
+                [client_blocks, server_blocks], clients)),
+            ("static shares", ULCStaticPartitionScheme(
+                [client_blocks, server_blocks], clients)),
+        ]:
+            result = run_simulation(scheme, skewed, costs)
+            rows.append(
+                [
+                    name,
+                    label,
+                    result.total_hit_rate,
+                    result.miss_rate,
+                    result.t_ave_ms,
+                ]
+            )
+    return AblationResult(
+        title=(
+            "E11: server allocation — dynamic partitioning via gLRU vs "
+            "fixed per-client shares (skewed client activity)"
+        ),
+        headers=["workload", "allocation", "total hit rate", "miss rate",
+                 "T_ave"],
+        rows=rows,
+    )
+
+
+def run_locality_filtering(
+    scale: Union[str, Scale] = "bench",
+    workload: str = "httpd",
+) -> AblationResult:
+    """E13: the paper's first challenge, measured.
+
+    Section 1.1: a low-level cache sees only the high-level cache's miss
+    stream, whose locality is "weakened" (Muntz & Honeyman; Zhou et
+    al.). This experiment quantifies it: reuse statistics of the stream
+    before and after an L1 LRU filter, and the hit rate a second-level
+    cache of the *same size* achieves on each — LRU against the
+    second-level specialists (MQ, LIRS, ARC).
+    """
+    from repro.experiments.figure6 import BASELINE_REFS, cache_blocks
+    from repro.policies import make_policy
+    from repro.workloads import filter_through_cache, filtering_report
+
+    scale = resolve_scale(scale)
+    trace = make_large_workload(
+        workload,
+        scale=scale.geometry,
+        num_refs=scale.references(BASELINE_REFS[workload]),
+    )
+    capacity = cache_blocks(workload, scale)
+    report = filtering_report(trace, capacity)
+    filtered = filter_through_cache(trace, capacity)
+
+    def hit_rate(policy_name: str, stream) -> float:
+        policy = make_policy(policy_name, capacity)
+        blocks = stream.blocks.tolist()
+        if not blocks:
+            return 0.0
+        warm = len(blocks) // 10
+        hits = 0
+        for index, block in enumerate(blocks):
+            if policy.access(block).hit and index >= warm:
+                hits += 1
+        return hits / max(1, len(blocks) - warm)
+
+    rows: List[List[object]] = [
+        ["stream reuse fraction", report["reuse_fraction_before"],
+         report["reuse_fraction_after"]],
+        ["mean reuse distance", report["mean_distance_before"],
+         report["mean_distance_after"]],
+    ]
+    for policy_name in ("lru", "mq", "lirs", "arc"):
+        rows.append(
+            [
+                f"{policy_name} hit rate @ {capacity} blocks",
+                hit_rate(policy_name, trace),
+                hit_rate(policy_name, filtered),
+            ]
+        )
+    return AblationResult(
+        title=(
+            f"E13 [{workload}]: locality filtering — the original stream "
+            f"vs the misses of a {capacity}-block L1 "
+            f"({report['pass_fraction']:.0%} of references pass)"
+        ),
+        headers=["quantity", "original stream", "L1-filtered stream"],
+        rows=rows,
+    )
+
+
+def run_placement_stability(
+    scale: Union[str, Scale] = "bench",
+    workloads: Sequence[str] = ("zipf", "tpcc1"),
+) -> AblationResult:
+    """E14: stability of the *schemes'* placements.
+
+    Section 1.2's second principle at the system level: how often does a
+    block's caching level actually change under each scheme, and how
+    long does a block stay put? (indLRU is excluded: it has no placement
+    coordination to be stable or unstable about — every level churns
+    independently.)
+    """
+    from repro.analysis import placement_churn
+    from repro.experiments.figure6 import BASELINE_REFS, cache_blocks
+
+    scale = resolve_scale(scale)
+    rows: List[List[object]] = []
+    for workload in workloads:
+        trace = make_large_workload(
+            workload,
+            scale=scale.geometry,
+            num_refs=scale.references(BASELINE_REFS[workload]),
+        )
+        capacity = cache_blocks(workload, scale)
+        for factory in (
+            lambda: UnifiedLRUScheme([capacity] * 3),
+            lambda: ULCScheme([capacity] * 3),
+        ):
+            scheme = factory()
+            stats = placement_churn(scheme, trace)
+            rows.append(
+                [
+                    workload,
+                    scheme.name,
+                    stats.change_rate,
+                    stats.demotion_rate,
+                    stats.mean_residency_refs,
+                ]
+            )
+    return AblationResult(
+        title=(
+            "E14: placement stability — level changes per reference and "
+            "mean per-level residency (references between moves)"
+        ),
+        headers=["workload", "scheme", "placement changes/ref",
+                 "demotions/ref", "mean residency (refs)"],
+        rows=rows,
+    )
+
+
+def run_congestion(
+    scale: Union[str, Scale] = "bench",
+    workload: str = "tpcc1",
+    rates: Sequence[float] = (100, 200, 400, 800),
+) -> AblationResult:
+    """E15: demotions under shared-link congestion (Chen et al. [15]).
+
+    Re-prices the Figure-6 style two-level runs with an M/M/1 link
+    model at several reference rates: uniLRU's demotion traffic loads
+    the client-server link until it saturates, while ULC's headroom is
+    several times larger — the paper's "benefits can be nullified by
+    them once the I/O bandwidth is below a certain threshold" argument,
+    measured.
+    """
+    from repro.experiments.figure6 import BASELINE_REFS, cache_blocks
+    from repro.sim import (
+        congested_access_time,
+        paper_two_level,
+        saturation_rate,
+    )
+
+    scale = resolve_scale(scale)
+    trace = make_large_workload(
+        workload,
+        scale=scale.geometry,
+        num_refs=scale.references(BASELINE_REFS[workload]),
+    )
+    capacity = cache_blocks(workload, scale)
+    costs = paper_two_level()
+    rows: List[List[object]] = []
+    from repro.hierarchy import UnifiedLRUMultiScheme
+
+    for name, factory in [
+        ("uniLRU", lambda: UnifiedLRUMultiScheme([capacity, 2 * capacity])),
+        ("ULC", lambda: ULCScheme([capacity, 2 * capacity])),
+    ]:
+        result = run_simulation(factory(), trace, costs)
+        row: List[object] = [
+            name,
+            result.t_ave_ms,
+            saturation_rate(result, costs),
+        ]
+        for rate in rates:
+            congested = congested_access_time(result, costs, rate)
+            row.append(
+                congested["t_ave_ms"]
+                if congested["t_ave_ms"] != float("inf")
+                else None
+            )
+        rows.append(row)
+    return AblationResult(
+        title=(
+            f"E15 [{workload}]: T_ave under shared-link congestion "
+            "(M/M/1 per boundary; '-' = link saturated)"
+        ),
+        headers=["scheme", "T_ave unloaded", "saturation refs/s"]
+        + [f"T_ave @{int(r)}/s" for r in rates],
+        rows=rows,
+    )
+
+
+def run_all_ablations(scale: Union[str, Scale] = "bench") -> List[AblationResult]:
+    """Run every ablation at the given scale."""
+    return [
+        run_demotion_vs_eviction(scale),
+        run_reload_window(scale),
+        run_templru_sweep(scale),
+        run_notification_modes(scale),
+        run_metadata_trimming(scale),
+        run_level_ratio_sweep(scale),
+        run_partitioning(scale),
+        run_locality_filtering(scale),
+        run_placement_stability(scale),
+        run_congestion(scale),
+    ]

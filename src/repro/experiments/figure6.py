@@ -1,0 +1,116 @@
+"""Experiment E4: Figure 6 — three-level single-client comparison.
+
+For each of the five traces (random, zipf, httpd, dev1, tpcc1) runs
+indLRU, uniLRU and ULC through the client / server / disk-array-cache
+hierarchy and reports per-level hit rates, per-boundary demotion rates
+and the average-access-time breakdown.
+
+Paper geometry: 100 MB per level (50 MB for tpcc1), 8 KB blocks, LAN
+1 ms / SAN 0.2 ms / disk 10 ms, first tenth of the trace as warm-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Union
+
+from repro.analysis.report import render_figure6
+from repro.errors import ConfigurationError
+from repro.experiments.scaling import Scale, resolve_scale
+from repro.hierarchy import (
+    IndependentScheme,
+    MultiLevelScheme,
+    ULCScheme,
+    UnifiedLRUScheme,
+)
+from repro.sim import RunResult, paper_three_level, run_simulation
+from repro.workloads import make_large_workload
+
+#: Paper per-level cache sizes in 8 KB blocks: 100 MB (50 MB for tpcc1).
+CACHE_BLOCKS_100MB = 12800
+CACHE_BLOCKS_50MB = 6400
+
+#: Baseline reference counts per workload (scaled ~1/100 of the paper).
+BASELINE_REFS = {
+    "random": 400_000,
+    "zipf": 400_000,
+    "httpd": 400_000,
+    "dev1": 100_000,
+    "tpcc1": 400_000,
+}
+
+FIGURE6_WORKLOADS = ("random", "zipf", "httpd", "dev1", "tpcc1")
+
+SCHEMES: Dict[str, Callable[[List[int]], MultiLevelScheme]] = {
+    "indLRU": lambda caps: IndependentScheme(caps),
+    "uniLRU": lambda caps: UnifiedLRUScheme(caps),
+    "ULC": lambda caps: ULCScheme(caps),
+}
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """One RunResult per (scheme, workload)."""
+
+    results: Dict[str, List[RunResult]]
+    scale: str
+
+    def render(self) -> str:
+        return render_figure6(self.results)
+
+    def result_for(self, scheme: str, workload: str) -> RunResult:
+        for result in self.results[scheme]:
+            if result.workload == workload:
+                return result
+        raise KeyError(f"no result for {scheme}/{workload}")
+
+    def access_time_reduction(self, workload: str, base: str, new: str) -> float:
+        """Fractional T_ave reduction of ``new`` over ``base`` — the
+        paper quotes uniLRU-over-indLRU (17%–80%) and ULC-over-uniLRU
+        (11%–71%)."""
+        t_base = self.result_for(base, workload).t_ave_ms
+        t_new = self.result_for(new, workload).t_ave_ms
+        if t_base == 0:
+            return 0.0
+        return (t_base - t_new) / t_base
+
+
+def cache_blocks(workload: str, scale: Scale) -> int:
+    """Per-level cache size for a workload under a scale."""
+    paper_blocks = (
+        CACHE_BLOCKS_50MB if workload == "tpcc1" else CACHE_BLOCKS_100MB
+    )
+    return scale.blocks(paper_blocks)
+
+
+def run_figure6(
+    scale: Union[str, Scale] = "bench",
+    workloads: Sequence[str] = FIGURE6_WORKLOADS,
+    schemes: Sequence[str] = tuple(SCHEMES),
+) -> Figure6Result:
+    """Run the Figure-6 grid and return all results."""
+    scale = resolve_scale(scale)
+    costs = paper_three_level()
+    for workload in workloads:
+        if workload not in BASELINE_REFS:
+            raise ConfigurationError(
+                f"unknown Figure-6 workload {workload!r}; "
+                f"available: {sorted(BASELINE_REFS)}"
+            )
+    for name in schemes:
+        if name not in SCHEMES:
+            raise ConfigurationError(
+                f"unknown scheme {name!r}; available: {sorted(SCHEMES)}"
+            )
+    results: Dict[str, List[RunResult]] = {name: [] for name in schemes}
+    for workload in workloads:
+        trace = make_large_workload(
+            workload,
+            scale=scale.geometry,
+            num_refs=scale.references(BASELINE_REFS[workload]),
+        )
+        capacity = cache_blocks(workload, scale)
+        for name in schemes:
+            scheme = SCHEMES[name]([capacity] * 3)
+            results[name].append(run_simulation(scheme, trace, costs))
+    return Figure6Result(results=results, scale=scale.name)

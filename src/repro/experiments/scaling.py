@@ -1,0 +1,67 @@
+"""Scale presets for the experiments.
+
+The paper's traces run to tens of millions of references over data sets
+up to 18.6 GB; a pure-Python reproduction shrinks the *geometry* (cache
+sizes and block universes by one common factor, preserving every
+cache:data-set ratio — which is what hit and demotion rates depend on)
+and the *reference counts*. Three presets:
+
+- ``tiny`` — seconds; used by the test suite.
+- ``bench`` — tens of seconds; used by ``pytest benchmarks/``.
+- ``paper`` — minutes; the preset behind the numbers in EXPERIMENTS.md.
+
+Every experiment accepts either a preset name or a :class:`Scale`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Scaling knobs applied to every experiment.
+
+    Attributes:
+        name: preset label (free-form for custom scales).
+        geometry: multiplier on the *paper's* block universes and cache
+            sizes (e.g. 1/16 means a 100 MB cache becomes 800 blocks).
+        refs: multiplier on this module's baseline reference counts
+            (which are themselves ~1/100 of the paper's).
+        sweep_points: server-size sweep resolution for Figure 7.
+    """
+
+    name: str
+    geometry: float
+    refs: float
+    sweep_points: int = 5
+
+    def blocks(self, paper_blocks: int, minimum: int = 16) -> int:
+        """Scale a paper block count (universe or cache size)."""
+        return max(minimum, int(round(paper_blocks * self.geometry)))
+
+    def references(self, baseline: int, minimum: int = 500) -> int:
+        """Scale a baseline reference count."""
+        return max(minimum, int(round(baseline * self.refs)))
+
+
+TINY = Scale(name="tiny", geometry=1 / 256, refs=1 / 50, sweep_points=3)
+BENCH = Scale(name="bench", geometry=1 / 64, refs=1 / 8, sweep_points=4)
+PAPER = Scale(name="paper", geometry=1 / 16, refs=1.0, sweep_points=6)
+
+_PRESETS = {scale.name: scale for scale in (TINY, BENCH, PAPER)}
+
+
+def resolve_scale(scale: Union[str, Scale]) -> Scale:
+    """Look up a preset by name or pass a custom :class:`Scale` through."""
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return _PRESETS[scale]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; presets: {sorted(_PRESETS)}"
+        ) from None

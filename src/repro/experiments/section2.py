@@ -1,0 +1,73 @@
+"""Experiments E1–E3: Figures 2, 3 and Table 1 (paper Section 2.2).
+
+Runs the four locality measures over the six small-scale workloads
+(cs, glimpse, sprite, zipf, random, multi) and renders the paper's
+reference-ratio distributions, movement-ratio curves and the qualitative
+measure-comparison table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+from repro.analysis import (
+    LocalityAnalysis,
+    analyze_measures,
+    render_figure2,
+    render_figure2_cumulative,
+    render_figure3,
+    render_table1,
+)
+from repro.experiments.scaling import Scale, resolve_scale
+from repro.workloads import make_small_workload
+
+#: Workload order as presented in the paper.
+SECTION2_WORKLOADS = ("cs", "glimpse", "zipf", "random", "sprite", "multi")
+
+#: The paper's Figure 3 prints three of the six (the rest are in the
+#: companion technical report); we regenerate all six.
+FIGURE3_PAPER_WORKLOADS = ("glimpse", "zipf", "sprite")
+
+
+@dataclass(frozen=True)
+class Section2Result:
+    """Analyses for all requested workloads, keyed by workload name."""
+
+    analyses: Dict[str, LocalityAnalysis]
+    scale: str
+
+    def render_figure2(self) -> str:
+        parts = []
+        for name, analysis in self.analyses.items():
+            parts.append(render_figure2(analysis))
+            parts.append(render_figure2_cumulative(analysis))
+        return "\n\n".join(parts)
+
+    def render_figure3(self) -> str:
+        return "\n\n".join(
+            render_figure3(analysis) for analysis in self.analyses.values()
+        )
+
+    def render_table1(self) -> str:
+        return render_table1(list(self.analyses.values()))
+
+
+def run_section2(
+    scale: Union[str, Scale] = "bench",
+    workloads: Sequence[str] = SECTION2_WORKLOADS,
+) -> Section2Result:
+    """Run the measure analysis over the Section-2 workloads.
+
+    The small-trace generators take a workload-size multiplier; the
+    preset geometry maps onto it so ``paper`` runs full-size equivalents
+    (thousands of blocks, tens of thousands of references).
+    """
+    scale = resolve_scale(scale)
+    # smallscale generators use scale=1.0 for the paper-sized equivalent.
+    workload_scale = max(0.01, scale.geometry * 16)
+    analyses = {
+        name: analyze_measures(make_small_workload(name, scale=workload_scale))
+        for name in workloads
+    }
+    return Section2Result(analyses=analyses, scale=scale.name)

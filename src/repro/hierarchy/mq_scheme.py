@@ -1,0 +1,46 @@
+"""Client-LRU + server-MQ — the Figure-7 MQ baseline.
+
+Zhou, Philbin & Li designed Multi-Queue for second-level buffer caches
+operating *independently* below client LRU caches; the paper evaluates
+exactly that composition ("we use MQ in the server and use LRU in the
+client independently"). Structurally this is independent (inclusive)
+caching with MQ as the shared server policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hierarchy.indlru import IndependentScheme
+
+
+class ClientLRUServerMQ(IndependentScheme):
+    """Independent two-level scheme: per-client LRU over a shared MQ."""
+
+    name = "MQ"
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        num_clients: int = 1,
+        num_queues: int = 8,
+        life_time: Optional[int] = None,
+        ghost_capacity: Optional[int] = None,
+    ) -> None:
+        if len(capacities) != 2:
+            raise ConfigurationError(
+                "ClientLRUServerMQ models a two-level structure"
+            )
+        mq_kwargs = {"num_queues": num_queues}
+        if life_time is not None:
+            mq_kwargs["life_time"] = life_time
+        if ghost_capacity is not None:
+            mq_kwargs["ghost_capacity"] = ghost_capacity
+        super().__init__(
+            capacities,
+            num_clients,
+            policies=["lru", "mq"],
+            policy_kwargs=[{}, mq_kwargs],
+        )
+        self.name = "MQ"

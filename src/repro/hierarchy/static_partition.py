@@ -1,0 +1,75 @@
+"""Statically partitioned multi-client ULC — the allocation baseline.
+
+Section 3.2.2 justifies the shared gLRU with the *dynamic partition
+principle*: "each client should be allocated a number of cache blocks
+that varies dynamically in accordance with its working set size", citing
+Cao et al. that global LRU approximates it well. This scheme is the
+baseline that claim is made against: the server is split into fixed
+per-client shares and each client runs the plain single-client two-level
+ULC over its own share. No interference, no adaptation.
+
+Comparing it with :class:`repro.hierarchy.ulc.ULCMultiScheme` under
+clients with *unequal* working sets quantifies what the gLRU buys
+(ablation E11).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.events import AccessEvent
+from repro.core.protocol import ULCClient
+from repro.errors import ConfigurationError
+from repro.hierarchy.base import MultiLevelScheme
+from repro.policies.base import Block
+
+
+class ULCStaticPartitionScheme(MultiLevelScheme):
+    """Per-client fixed server shares, each run by single-client ULC.
+
+    Args:
+        capacities: ``[client_capacity, server_capacity]``; the server
+            is split evenly (remainders to the first clients).
+        num_clients: number of clients.
+        templru_capacity: forwarded to each client engine.
+    """
+
+    name = "ULC-static"
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        num_clients: int = 1,
+        templru_capacity: int = 16,
+        max_metadata: Optional[int] = None,
+    ) -> None:
+        if len(capacities) != 2:
+            raise ConfigurationError(
+                "ULCStaticPartitionScheme models a two-level structure"
+            )
+        super().__init__(capacities, num_clients)
+        base_share, remainder = divmod(capacities[1], num_clients)
+        if base_share == 0:
+            raise ConfigurationError(
+                f"server of {capacities[1]} blocks cannot give each of "
+                f"{num_clients} clients a share"
+            )
+        self._engines: List[ULCClient] = []
+        for client in range(num_clients):
+            share = base_share + (1 if client < remainder else 0)
+            self._engines.append(
+                ULCClient(
+                    [capacities[0], share],
+                    templru_capacity=templru_capacity,
+                    max_metadata=max_metadata,
+                )
+            )
+
+    def access(self, client: int, block: Block) -> AccessEvent:
+        self._check_client(client)
+        return self._engines[client].access(block, client=client)
+
+    def share_of(self, client: int) -> int:
+        """The client's fixed server share in blocks."""
+        self._check_client(client)
+        return self._engines[client].capacities[1]

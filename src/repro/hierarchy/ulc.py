@@ -1,0 +1,117 @@
+"""ULC as a :class:`MultiLevelScheme` — adapters over the core engines.
+
+:class:`ULCScheme` wraps the single-client n-level engine
+(:class:`repro.core.protocol.ULCClient`); :class:`ULCMultiScheme` wraps
+the two-level multi-client system (:class:`repro.core.multi.ULCMultiSystem`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.events import AccessEvent
+from repro.core.multi import NOTIFY_PIGGYBACK, ULCMultiSystem
+from repro.core.protocol import ULCClient
+from repro.errors import ConfigurationError
+from repro.hierarchy.base import MultiLevelScheme
+from repro.policies.base import Block
+
+
+class ULCScheme(MultiLevelScheme):
+    """Single-client Unified Level-aware Caching over n levels."""
+
+    name = "ULC"
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        num_clients: int = 1,
+        templru_capacity: int = 16,
+        max_metadata: Optional[int] = None,
+    ) -> None:
+        if num_clients != 1:
+            raise ConfigurationError(
+                "ULCScheme is single-client; use ULCMultiScheme"
+            )
+        super().__init__(capacities, num_clients)
+        self.engine = ULCClient(
+            capacities,
+            templru_capacity=templru_capacity,
+            max_metadata=max_metadata,
+        )
+
+    def access(self, client: int, block: Block) -> AccessEvent:
+        self._check_client(client)
+        return self.engine.access(block, client=client)
+
+
+class ULCMultiLevelScheme(MultiLevelScheme):
+    """Multi-client ULC over n levels: a private client cache plus a
+    chain of shared tiers (e.g. clients -> file-server cache -> disk
+    array cache). Generalises :class:`ULCMultiScheme`; see
+    :mod:`repro.core.multi_nlevel`."""
+
+    name = "ULC-nlevel"
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        num_clients: int = 1,
+        templru_capacity: int = 16,
+        max_metadata: Optional[int] = None,
+    ) -> None:
+        if len(capacities) < 2:
+            raise ConfigurationError(
+                "ULCMultiLevelScheme needs a client level and at least "
+                "one shared tier"
+            )
+        super().__init__(capacities, num_clients)
+        from repro.core.multi_nlevel import ULCMultiLevelSystem
+
+        self.system = ULCMultiLevelSystem(
+            num_clients=num_clients,
+            client_capacity=capacities[0],
+            shared_capacities=list(capacities[1:]),
+            templru_capacity=templru_capacity,
+            max_metadata=max_metadata,
+        )
+
+    def access(self, client: int, block: Block) -> AccessEvent:
+        self._check_client(client)
+        return self.system.access(client, block)
+
+
+class ULCMultiScheme(MultiLevelScheme):
+    """Multi-client ULC: per-client engines over a shared gLRU server."""
+
+    name = "ULC"
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        num_clients: int = 1,
+        templru_capacity: int = 16,
+        notify: str = NOTIFY_PIGGYBACK,
+        max_metadata: Optional[int] = None,
+        notice_loss_rate: float = 0.0,
+        notice_loss_seed: int = 0,
+    ) -> None:
+        if len(capacities) != 2:
+            raise ConfigurationError(
+                "ULCMultiScheme models a two-level structure"
+            )
+        super().__init__(capacities, num_clients)
+        self.system = ULCMultiSystem(
+            num_clients=num_clients,
+            client_capacity=capacities[0],
+            server_capacity=capacities[1],
+            templru_capacity=templru_capacity,
+            notify=notify,
+            max_metadata=max_metadata,
+            notice_loss_rate=notice_loss_rate,
+            notice_loss_seed=notice_loss_seed,
+        )
+
+    def access(self, client: int, block: Block) -> AccessEvent:
+        self._check_client(client)
+        return self.system.access(client, block)

@@ -1,0 +1,51 @@
+"""Single-level cache replacement policies.
+
+This package provides the replacement-policy substrate the multi-level
+schemes are composed from: the classic recency/frequency families, the
+offline optimum, and the two research policies the paper positions ULC
+against or builds on (MQ for second-level caches, LIRS for last locality
+distance).
+
+All policies implement :class:`repro.policies.base.ReplacementPolicy`.
+"""
+
+from repro.policies.arc import ARCPolicy
+from repro.policies.base import AccessResult, Block, ReplacementPolicy
+from repro.policies.clock import CLOCKPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.lfu import LFUPolicy
+from repro.policies.lirs import LIRSPolicy
+from repro.policies.lru import LRUPolicy, MRUPolicy
+from repro.policies.mq import MQPolicy
+from repro.policies.opt import NEVER, OPTPolicy, compute_next_use
+from repro.policies.lruk import LRUKPolicy
+from repro.policies.random_policy import RandomPolicy
+from repro.policies.twoq import TwoQPolicy
+from repro.policies.registry import (
+    available_policies,
+    make_policy,
+    register_policy,
+)
+
+__all__ = [
+    "AccessResult",
+    "Block",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "FIFOPolicy",
+    "CLOCKPolicy",
+    "LFUPolicy",
+    "RandomPolicy",
+    "OPTPolicy",
+    "MQPolicy",
+    "LIRSPolicy",
+    "ARCPolicy",
+    "TwoQPolicy",
+    "LRUKPolicy",
+    "NEVER",
+    "compute_next_use",
+    "available_policies",
+    "make_policy",
+    "register_policy",
+]

@@ -1,0 +1,163 @@
+"""ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST 2003).
+
+ARC balances recency (list T1) against frequency (list T2) with ghost
+lists B1/B2 steering an adaptation parameter ``p``. It is contemporary
+with the ULC paper and serves as an additional single-level baseline in
+the extension benchmarks.
+
+Lists (all LRU-ordered, MRU at the head):
+
+- T1: resident, seen exactly once recently.
+- T2: resident, seen at least twice recently.
+- B1/B2: ghosts of blocks evicted from T1/T2.
+
+Invariant: ``len(T1) + len(T2) <= capacity`` and
+``len(T1) + len(B1) <= capacity`` and total tracked <= 2 * capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.policies.base import Block, ReplacementPolicy
+from repro.util.linkedlist import DoublyLinkedList, ListNode
+
+_T1, _T2, _B1, _B2 = "T1", "T2", "B1", "B2"
+
+
+class ARCPolicy(ReplacementPolicy):
+    """Adaptive Replacement Cache."""
+
+    name = "arc"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._lists: Dict[str, DoublyLinkedList[Block]] = {
+            name: DoublyLinkedList() for name in (_T1, _T2, _B1, _B2)
+        }
+        # block -> (list name, node)
+        self._where: Dict[Block, Tuple[str, ListNode[Block]]] = {}
+        self._p = 0.0  # target size of T1
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _list_len(self, name: str) -> int:
+        return len(self._lists[name])
+
+    def _push(self, name: str, block: Block) -> None:
+        self._where[block] = (name, self._lists[name].push_front(ListNode(block)))
+
+    def _drop(self, block: Block) -> str:
+        name, node = self._where.pop(block)
+        self._lists[name].remove(node)
+        return name
+
+    def _pop_lru(self, name: str) -> Block:
+        node = self._lists[name].pop_back()
+        del self._where[node.value]
+        return node.value
+
+    def _replace(self, in_b2: bool) -> Block:
+        """Evict from T1 or T2 per the REPLACE subroutine; ghost kept."""
+        t1_len = self._list_len(_T1)
+        if t1_len > 0 and (
+            t1_len > self._p or (in_b2 and t1_len == int(self._p))
+        ):
+            victim = self._pop_lru(_T1)
+            self._push(_B1, victim)
+        else:
+            victim = self._pop_lru(_T2)
+            self._push(_B2, victim)
+        return victim
+
+    # -- ReplacementPolicy interface -------------------------------------------
+
+    def __contains__(self, block: Block) -> bool:
+        entry = self._where.get(block)
+        return entry is not None and entry[0] in (_T1, _T2)
+
+    def __len__(self) -> int:
+        return self._list_len(_T1) + self._list_len(_T2)
+
+    def touch(self, block: Block) -> None:
+        self._require_resident(block)
+        self._drop(block)
+        self._push(_T2, block)
+
+    def insert(self, block: Block) -> List[Block]:
+        self._require_absent(block)
+        where = self._where.get(block)
+        evicted: List[Block] = []
+        capacity = self.capacity
+
+        if where is not None and where[0] == _B1:
+            # Ghost hit in B1: favour recency.
+            delta = max(1.0, self._list_len(_B2) / max(1, self._list_len(_B1)))
+            self._p = min(float(capacity), self._p + delta)
+            if self.full:
+                evicted.append(self._replace(in_b2=False))
+            self._drop(block)
+            self._push(_T2, block)
+            return evicted
+
+        if where is not None and where[0] == _B2:
+            # Ghost hit in B2: favour frequency.
+            delta = max(1.0, self._list_len(_B1) / max(1, self._list_len(_B2)))
+            self._p = max(0.0, self._p - delta)
+            if self.full:
+                evicted.append(self._replace(in_b2=True))
+            self._drop(block)
+            self._push(_T2, block)
+            return evicted
+
+        # Completely new block (case IV of the paper).
+        l1 = self._list_len(_T1) + self._list_len(_B1)
+        l2 = self._list_len(_T2) + self._list_len(_B2)
+        if l1 == capacity:
+            if self._list_len(_T1) < capacity:
+                self._pop_lru(_B1)
+                if self.full:
+                    evicted.append(self._replace(in_b2=False))
+            else:
+                evicted.append(self._pop_lru(_T1))
+        elif l1 < capacity and l1 + l2 >= capacity:
+            if l1 + l2 == 2 * capacity:
+                self._pop_lru(_B2)
+            if self.full:
+                evicted.append(self._replace(in_b2=False))
+        self._push(_T1, block)
+        return evicted
+
+    def remove(self, block: Block) -> None:
+        self._require_resident(block)
+        self._drop(block)
+
+    def victim(self) -> Optional[Block]:
+        """Victim a brand-new insert would evict (approximate peek)."""
+        if not self.full:
+            return None
+        t1_len = self._list_len(_T1)
+        if t1_len and (t1_len > self._p or self._list_len(_T2) == 0):
+            tail = self._lists[_T1].tail
+        else:
+            tail = self._lists[_T2].tail
+        if tail is None:  # pragma: no cover - defensive
+            raise ProtocolError("ARC full but both T lists empty")
+        return tail.value
+
+    def resident(self) -> Iterator[Block]:
+        for name in (_T1, _T2):
+            yield from self._lists[name].values()
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def p(self) -> float:
+        """Current adaptation target for T1's size."""
+        return self._p
+
+    def list_of(self, block: Block) -> Optional[str]:
+        """Which ARC list currently tracks ``block`` (or ``None``)."""
+        entry = self._where.get(block)
+        return entry[0] if entry is not None else None

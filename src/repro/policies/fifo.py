@@ -1,0 +1,56 @@
+"""First-In First-Out replacement.
+
+FIFO ignores references after insertion; it is included as a cheap
+baseline and as the building block of the CLOCK approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.policies.base import Block, ReplacementPolicy
+from repro.util.linkedlist import DoublyLinkedList, ListNode
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict the block that has been resident longest."""
+
+    name = "fifo"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._queue: DoublyLinkedList[Block] = DoublyLinkedList()
+        self._nodes: Dict[Block, ListNode[Block]] = {}
+
+    def __contains__(self, block: Block) -> bool:
+        return block in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def touch(self, block: Block) -> None:
+        self._require_resident(block)
+        # FIFO position is fixed at insertion time.
+
+    def insert(self, block: Block) -> List[Block]:
+        self._require_absent(block)
+        evicted: List[Block] = []
+        if self.full:
+            victim_node = self._queue.pop_back()
+            del self._nodes[victim_node.value]
+            evicted.append(victim_node.value)
+        self._nodes[block] = self._queue.push_front(ListNode(block))
+        return evicted
+
+    def remove(self, block: Block) -> None:
+        self._require_resident(block)
+        self._queue.remove(self._nodes.pop(block))
+
+    def victim(self) -> Optional[Block]:
+        if not self.full or not self._queue:
+            return None
+        return self._queue.tail.value  # type: ignore[union-attr]
+
+    def resident(self) -> Iterator[Block]:
+        """Iterate blocks from newest to oldest insertion."""
+        return self._queue.values()

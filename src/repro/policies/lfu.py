@@ -1,0 +1,85 @@
+"""Least Frequently Used replacement with LRU tie-breaking.
+
+Implemented with the classic O(1) frequency-list structure: a list of
+frequency buckets, each holding an LRU-ordered list of blocks with that
+reference count. Included as the canonical frequency-based baseline next
+to MQ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.policies.base import Block, ReplacementPolicy
+from repro.util.linkedlist import DoublyLinkedList, ListNode
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Evict the block with the smallest reference count (LRU among ties)."""
+
+    name = "lfu"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        # frequency -> list of blocks at that frequency, MRU first.
+        self._buckets: Dict[int, DoublyLinkedList[Block]] = {}
+        # block -> (frequency, node)
+        self._entries: Dict[Block, Tuple[int, ListNode[Block]]] = {}
+
+    def __contains__(self, block: Block) -> bool:
+        return block in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _bucket(self, freq: int) -> DoublyLinkedList[Block]:
+        bucket = self._buckets.get(freq)
+        if bucket is None:
+            bucket = self._buckets[freq] = DoublyLinkedList()
+        return bucket
+
+    def _unlink(self, block: Block) -> int:
+        """Remove ``block`` from its bucket; returns its frequency."""
+        freq, node = self._entries.pop(block)
+        bucket = self._buckets[freq]
+        bucket.remove(node)
+        if not bucket:
+            del self._buckets[freq]
+        return freq
+
+    def _link(self, block: Block, freq: int) -> None:
+        self._entries[block] = (freq, self._bucket(freq).push_front(ListNode(block)))
+
+    def touch(self, block: Block) -> None:
+        self._require_resident(block)
+        freq = self._unlink(block)
+        self._link(block, freq + 1)
+
+    def insert(self, block: Block) -> List[Block]:
+        self._require_absent(block)
+        evicted: List[Block] = []
+        if self.full:
+            victim = self.victim()
+            assert victim is not None
+            self._unlink(victim)
+            evicted.append(victim)
+        self._link(block, 1)
+        return evicted
+
+    def remove(self, block: Block) -> None:
+        self._require_resident(block)
+        self._unlink(block)
+
+    def victim(self) -> Optional[Block]:
+        if not self.full or not self._entries:
+            return None
+        min_freq = min(self._buckets)
+        return self._buckets[min_freq].tail.value  # type: ignore[union-attr]
+
+    def resident(self) -> Iterator[Block]:
+        return iter(list(self._entries))
+
+    def frequency(self, block: Block) -> int:
+        """Current reference count of a resident block (for tests)."""
+        self._require_resident(block)
+        return self._entries[block][0]

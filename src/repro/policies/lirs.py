@@ -1,0 +1,276 @@
+"""LIRS replacement — Jiang & Zhang, SIGMETRICS 2002.
+
+LIRS (Low Inter-reference Recency Set) is the same authors' single-level
+algorithm whose *last locality distance* idea the ULC paper generalises to
+hierarchies (Section 5: "This single-level cache replacement motivates us
+to investigate if the last locality distance, LLD, can be effectively
+used to exploit hierarchical locality"). It is included both as an extra
+baseline and because implementing it validates our reading of the LLD
+machinery.
+
+State:
+
+- Stack ``S`` holds LIR blocks, resident HIR blocks and a bounded number
+  of non-resident HIR blocks, ordered by recency.
+- Queue ``Q`` holds the resident HIR blocks; its head is the eviction
+  victim.
+- The cache is split into ``capacity - hir_size`` LIR slots and
+  ``hir_size`` HIR slots (``hir_size`` ~1% of capacity, at least 1).
+- Stack pruning keeps an LIR block at the bottom of ``S``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ProtocolError
+from repro.policies.base import Block, ReplacementPolicy
+from repro.util.linkedlist import DoublyLinkedList, ListNode
+from repro.util.validation import check_positive
+
+_LIR = "LIR"
+_HIR_RESIDENT = "HIRr"
+_HIR_NONRESIDENT = "HIRn"
+
+
+class _LirsEntry:
+    __slots__ = ("block", "state", "stack_node", "queue_node")
+
+    def __init__(self, block: Block, state: str) -> None:
+        self.block = block
+        self.state = state
+        self.stack_node: Optional[ListNode["_LirsEntry"]] = None
+        self.queue_node: Optional[ListNode["_LirsEntry"]] = None
+
+
+class LIRSPolicy(ReplacementPolicy):
+    """LIRS with configurable HIR fraction and ghost budget.
+
+    Args:
+        capacity: total resident blocks.
+        hir_fraction: fraction of capacity assigned to resident HIR
+            blocks (default 0.05; at least one slot either way).
+        ghost_factor: bound on non-resident HIR entries kept in stack S,
+            as a multiple of capacity (default 2.0).
+    """
+
+    name = "lirs"
+
+    def __init__(
+        self,
+        capacity: int,
+        hir_fraction: float = 0.05,
+        ghost_factor: float = 2.0,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0 < hir_fraction < 1:
+            raise ProtocolError(
+                f"hir_fraction must be in (0, 1), got {hir_fraction}"
+            )
+        check_positive("ghost_factor", ghost_factor)
+        self.hir_size = max(1, int(round(capacity * hir_fraction)))
+        if self.hir_size >= capacity:
+            self.hir_size = max(1, capacity - 1) if capacity > 1 else 1
+        self.lir_size = max(1, capacity - self.hir_size)
+        self.ghost_limit = max(1, int(capacity * ghost_factor))
+        self._stack: DoublyLinkedList[_LirsEntry] = DoublyLinkedList()
+        self._queue: DoublyLinkedList[_LirsEntry] = DoublyLinkedList()
+        self._entries: Dict[Block, _LirsEntry] = {}
+        self._lir_count = 0
+        self._ghost_count = 0
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _resident_count(self) -> int:
+        return self._lir_count + len(self._queue)
+
+    def __contains__(self, block: Block) -> bool:
+        entry = self._entries.get(block)
+        return entry is not None and entry.state != _HIR_NONRESIDENT
+
+    def __len__(self) -> int:
+        return self._resident_count()
+
+    def _stack_push(self, entry: _LirsEntry) -> None:
+        entry.stack_node = self._stack.push_front(ListNode(entry))
+
+    def _stack_remove(self, entry: _LirsEntry) -> None:
+        if entry.stack_node is not None:
+            self._stack.remove(entry.stack_node)
+            entry.stack_node = None
+
+    def _queue_push(self, entry: _LirsEntry) -> None:
+        entry.queue_node = self._queue.push_front(ListNode(entry))
+
+    def _queue_remove(self, entry: _LirsEntry) -> None:
+        if entry.queue_node is not None:
+            self._queue.remove(entry.queue_node)
+            entry.queue_node = None
+
+    def _drop_entry(self, entry: _LirsEntry) -> None:
+        self._stack_remove(entry)
+        self._queue_remove(entry)
+        del self._entries[entry.block]
+
+    def _prune_stack(self) -> None:
+        """Remove HIR entries from the stack bottom until a LIR block (or
+        nothing) remains at the bottom; demote that LIR block if it was
+        just exposed by the caller."""
+        while self._stack:
+            bottom = self._stack.tail
+            assert bottom is not None
+            entry = bottom.value
+            if entry.state == _LIR:
+                return
+            self._stack.remove(bottom)
+            entry.stack_node = None
+            if entry.state == _HIR_NONRESIDENT:
+                self._ghost_count -= 1
+                del self._entries[entry.block]
+            # Resident HIR entries stay tracked via the queue.
+
+    def _enforce_ghost_limit(self) -> None:
+        if self._ghost_count <= self.ghost_limit:
+            return
+        for node in self._stack.iter_reverse():
+            if node.value.state == _HIR_NONRESIDENT:
+                node.value.stack_node = None
+                self._stack.remove(node)
+                del self._entries[node.value.block]
+                self._ghost_count -= 1
+                if self._ghost_count <= self.ghost_limit:
+                    break
+        self._prune_stack()
+
+    def _evict_hir_victim(self) -> Block:
+        """Evict the oldest resident HIR block.
+
+        If every resident block is LIR (possible for degenerate
+        capacities such as 1), the LIR stack bottom is demoted to HIR
+        first so there is always a queue victim.
+        """
+        if not self._queue:
+            self._demote_lir_bottom()
+        if not self._queue:
+            raise ProtocolError("LIRS eviction with empty HIR queue")
+        node = self._queue.tail
+        assert node is not None
+        entry = node.value
+        self._queue_remove(entry)
+        if entry.stack_node is not None:
+            entry.state = _HIR_NONRESIDENT
+            self._ghost_count += 1
+            self._enforce_ghost_limit()
+        else:
+            del self._entries[entry.block]
+        return entry.block
+
+    def _demote_lir_bottom(self) -> None:
+        """Turn the stack-bottom LIR block into a resident HIR block."""
+        bottom = self._stack.tail
+        if bottom is None:
+            raise ProtocolError("LIRS demotion with empty stack")
+        entry = bottom.value
+        if entry.state != _LIR:
+            raise ProtocolError("LIRS stack bottom is not LIR")
+        self._stack_remove(entry)
+        entry.state = _HIR_RESIDENT
+        self._lir_count -= 1
+        self._queue_push(entry)
+        self._prune_stack()
+
+    # -- ReplacementPolicy interface -------------------------------------------
+
+    def touch(self, block: Block) -> None:
+        self._require_resident(block)
+        entry = self._entries[block]
+        if entry.state == _LIR:
+            was_bottom = self._stack.tail is entry.stack_node
+            self._stack_remove(entry)
+            self._stack_push(entry)
+            if was_bottom:
+                self._prune_stack()
+            return
+        # Resident HIR hit.
+        if entry.stack_node is not None:
+            # In stack: promote to LIR; demote the LIR bottom to HIR.
+            self._stack_remove(entry)
+            self._queue_remove(entry)
+            entry.state = _LIR
+            self._lir_count += 1
+            self._stack_push(entry)
+            if self._lir_count > self.lir_size:
+                self._demote_lir_bottom()
+        else:
+            # Not in stack: stays HIR, moves to queue MRU, re-enters stack.
+            self._queue_remove(entry)
+            self._queue_push(entry)
+            self._stack_push(entry)
+
+    def insert(self, block: Block) -> List[Block]:
+        entry = self._entries.get(block)
+        if entry is not None and entry.state != _HIR_NONRESIDENT:
+            raise ProtocolError(f"block {block!r} is already resident in lirs")
+        evicted: List[Block] = []
+        if self._resident_count() >= self.capacity:
+            evicted.append(self._evict_hir_victim())
+            # The eviction may have pushed the ghost list over its limit
+            # and trimmed the very ghost being promoted — re-fetch it.
+            entry = self._entries.get(block)
+
+        if entry is not None:
+            # Ghost hit: small inter-reference recency, promote to LIR.
+            self._ghost_count -= 1
+            self._stack_remove(entry)
+            entry.state = _LIR
+            self._lir_count += 1
+            self._stack_push(entry)
+            if self._lir_count > self.lir_size:
+                self._demote_lir_bottom()
+            return evicted
+
+        entry = _LirsEntry(block, _LIR)
+        self._entries[block] = entry
+        if self._lir_count < self.lir_size:
+            # Cold start: fill the LIR set first.
+            entry.state = _LIR
+            self._lir_count += 1
+            self._stack_push(entry)
+        else:
+            entry.state = _HIR_RESIDENT
+            self._stack_push(entry)
+            self._queue_push(entry)
+        return evicted
+
+    def remove(self, block: Block) -> None:
+        self._require_resident(block)
+        entry = self._entries[block]
+        if entry.state == _LIR:
+            self._lir_count -= 1
+            self._drop_entry(entry)
+            self._prune_stack()
+        else:
+            self._drop_entry(entry)
+
+    def victim(self) -> Optional[Block]:
+        if not self.full:
+            return None
+        tail = self._queue.tail
+        if tail is not None:
+            return tail.value.block
+        # Degenerate: all resident blocks are LIR (can happen transiently
+        # for capacity 1); fall back to the stack bottom.
+        bottom = self._stack.tail
+        return bottom.value.block if bottom is not None else None
+
+    def resident(self) -> Iterator[Block]:
+        for block, entry in list(self._entries.items()):
+            if entry.state != _HIR_NONRESIDENT:
+                yield block
+
+    # -- introspection ---------------------------------------------------------
+
+    def state_of(self, block: Block) -> Optional[str]:
+        """``"LIR"``, ``"HIRr"``, ``"HIRn"`` or ``None`` (untracked)."""
+        entry = self._entries.get(block)
+        return entry.state if entry is not None else None

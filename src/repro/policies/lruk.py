@@ -1,0 +1,108 @@
+"""LRU-K replacement — O'Neil, O'Neil & Weikum, SIGMOD 1993.
+
+LRU-K evicts the block whose K-th most recent reference is oldest
+(classically K=2), discriminating frequently referenced blocks from
+one-shot ones by their *backward K-distance*. It is the ancestor of the
+frequency-aware second-level policies (MQ cites it directly), so it
+rounds out the baseline set.
+
+Implementation notes: each block keeps its last K reference times; the
+eviction scan keeps candidates in a lazy min-heap keyed by the K-th
+history value (blocks with fewer than K references use -inf, i.e. they
+are evicted first, LRU among themselves via their single timestamp). The
+"correlated reference period" of the original paper is omitted (the
+paper's own experiments often run with it disabled).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+from collections import deque
+
+from repro.policies.base import Block, ReplacementPolicy
+from repro.util.validation import check_int, check_positive
+
+
+class LRUKPolicy(ReplacementPolicy):
+    """LRU-K (default K=2) with LRU tie-breaking among cold blocks."""
+
+    name = "lru-k"
+
+    def __init__(self, capacity: int, k: int = 2) -> None:
+        super().__init__(capacity)
+        check_int("k", k)
+        check_positive("k", k)
+        self.k = k
+        self._clock = 0
+        # block -> deque of its last K reference times (newest last).
+        self._history: Dict[Block, Deque[int]] = {}
+        # Lazy min-heap of (kth_distance_key, block).
+        self._heap: List[Tuple[Tuple[int, int], Block]] = []
+
+    def _key(self, block: Block) -> Tuple[int, int]:
+        """Sort key: (K-th most recent reference time, last reference).
+
+        Blocks with fewer than K references sort before all fully
+        observed blocks (K-th time treated as -1), ordered among
+        themselves by their last reference (plain LRU).
+        """
+        history = self._history[block]
+        kth = history[0] if len(history) >= self.k else -1
+        return (kth, history[-1])
+
+    def _push(self, block: Block) -> None:
+        heapq.heappush(self._heap, (self._key(block), block))
+
+    def __contains__(self, block: Block) -> bool:
+        return block in self._history
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+    def touch(self, block: Block) -> None:
+        self._require_resident(block)
+        self._clock += 1
+        history = self._history[block]
+        history.append(self._clock)
+        while len(history) > self.k:
+            history.popleft()
+        self._push(block)
+
+    def insert(self, block: Block) -> List[Block]:
+        self._require_absent(block)
+        self._clock += 1
+        evicted: List[Block] = []
+        if self.full:
+            victim = self.victim()
+            assert victim is not None
+            del self._history[victim]
+            evicted.append(victim)
+        self._history[block] = deque([self._clock])
+        self._push(block)
+        return evicted
+
+    def remove(self, block: Block) -> None:
+        self._require_resident(block)
+        del self._history[block]
+
+    def victim(self) -> Optional[Block]:
+        if not self.full or not self._history:
+            return None
+        while self._heap:
+            key, block = self._heap[0]
+            if block in self._history and self._key(block) == key:
+                return block
+            heapq.heappop(self._heap)
+        return None  # pragma: no cover - heap always tracks residents
+
+    def resident(self) -> Iterator[Block]:
+        return iter(list(self._history))
+
+    def backward_k_distance(self, block: Block) -> Optional[int]:
+        """Age of the K-th most recent reference (None if fewer than K)."""
+        self._require_resident(block)
+        history = self._history[block]
+        if len(history) < self.k:
+            return None
+        return self._clock - history[0]

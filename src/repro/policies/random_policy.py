@@ -1,0 +1,78 @@
+"""RANDOM replacement.
+
+Evicts a uniformly random resident block. Section 2.2 of the paper notes
+that on the ``random`` trace every online algorithm can at best match
+RANDOM, whose hit rate is proportional to cache size; this policy lets
+tests verify that property directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.policies.base import Block, ReplacementPolicy
+from repro.util.rng import make_rng
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random block (deterministic under a seed)."""
+
+    name = "random"
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        super().__init__(capacity)
+        self._rng = make_rng(seed)
+        # Dense array + index map gives O(1) uniform sampling and removal.
+        self._order: List[Block] = []
+        self._index: Dict[Block, int] = {}
+        self._pending_victim: Optional[Block] = None
+
+    def __contains__(self, block: Block) -> bool:
+        return block in self._index
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def touch(self, block: Block) -> None:
+        self._require_resident(block)
+        # Random replacement ignores reference history.
+
+    def _remove_at(self, position: int) -> Block:
+        block = self._order[position]
+        last = self._order.pop()
+        if position < len(self._order):
+            self._order[position] = last
+            self._index[last] = position
+        del self._index[block]
+        return block
+
+    def insert(self, block: Block) -> List[Block]:
+        self._require_absent(block)
+        evicted: List[Block] = []
+        if self.full:
+            victim = self.victim()
+            assert victim is not None
+            self._remove_at(self._index[victim])
+            self._pending_victim = None
+            evicted.append(victim)
+        self._index[block] = len(self._order)
+        self._order.append(block)
+        return evicted
+
+    def remove(self, block: Block) -> None:
+        self._require_resident(block)
+        self._remove_at(self._index[block])
+        if self._pending_victim == block:
+            self._pending_victim = None
+
+    def victim(self) -> Optional[Block]:
+        """Pre-draw the next victim so repeated peeks are stable."""
+        if not self.full or not self._order:
+            return None
+        if self._pending_victim is None:
+            position = int(self._rng.integers(0, len(self._order)))
+            self._pending_victim = self._order[position]
+        return self._pending_victim
+
+    def resident(self) -> Iterator[Block]:
+        return iter(list(self._order))

@@ -1,0 +1,66 @@
+"""Name-based construction of replacement policies.
+
+Experiments and the CLI refer to policies by their registry name
+(``"lru"``, ``"mq"``, ...); this module maps names to factories so a
+policy choice can live in a config file or command line flag.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import UnknownPolicyError
+from repro.policies.arc import ARCPolicy
+from repro.policies.base import ReplacementPolicy
+from repro.policies.clock import CLOCKPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.lfu import LFUPolicy
+from repro.policies.lirs import LIRSPolicy
+from repro.policies.lru import LRUPolicy, MRUPolicy
+from repro.policies.mq import MQPolicy
+from repro.policies.lruk import LRUKPolicy
+from repro.policies.random_policy import RandomPolicy
+from repro.policies.twoq import TwoQPolicy
+
+PolicyFactory = Callable[..., ReplacementPolicy]
+
+_REGISTRY: Dict[str, PolicyFactory] = {
+    LRUPolicy.name: LRUPolicy,
+    MRUPolicy.name: MRUPolicy,
+    FIFOPolicy.name: FIFOPolicy,
+    CLOCKPolicy.name: CLOCKPolicy,
+    LFUPolicy.name: LFUPolicy,
+    RandomPolicy.name: RandomPolicy,
+    MQPolicy.name: MQPolicy,
+    LIRSPolicy.name: LIRSPolicy,
+    ARCPolicy.name: ARCPolicy,
+    TwoQPolicy.name: TwoQPolicy,
+    LRUKPolicy.name: LRUKPolicy,
+}
+
+
+def available_policies() -> List[str]:
+    """Sorted registry names (OPT is excluded: it needs a future trace)."""
+    return sorted(_REGISTRY)
+
+
+def make_policy(name: str, capacity: int, **kwargs: object) -> ReplacementPolicy:
+    """Construct the policy registered under ``name``.
+
+    Extra keyword arguments are forwarded to the policy constructor
+    (e.g. ``life_time`` for MQ, ``seed`` for RANDOM).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownPolicyError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        ) from None
+    return factory(capacity, **kwargs)
+
+
+def register_policy(name: str, factory: PolicyFactory) -> None:
+    """Register a custom policy factory (see ``examples/custom_policy.py``)."""
+    if name in _REGISTRY:
+        raise UnknownPolicyError(f"policy name {name!r} is already registered")
+    _REGISTRY[name] = factory

@@ -1,0 +1,116 @@
+"""2Q replacement — Johnson & Shasha, VLDB 1994.
+
+2Q keeps fresh blocks in a FIFO probation queue ``A1in``; blocks
+re-referenced *after* leaving probation (their identity remembered in
+the ghost queue ``A1out``) are promoted to the main LRU ``Am``. One-shot
+blocks therefore flow through ``A1in`` without ever polluting ``Am`` —
+the same one-shot resistance motif the paper's low-level caches need.
+
+Parameters follow the paper's "2Q, Full Version": ``Kin`` (A1in size)
+defaults to 25% of the cache and ``Kout`` (A1out ghosts) to 50%.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional
+
+from repro.policies.base import Block, ReplacementPolicy
+from repro.util.linkedlist import DoublyLinkedList, ListNode
+from repro.util.validation import check_fraction
+
+_A1IN = "a1in"
+_AM = "am"
+
+
+class TwoQPolicy(ReplacementPolicy):
+    """The full 2Q algorithm."""
+
+    name = "2q"
+
+    def __init__(
+        self,
+        capacity: int,
+        kin_fraction: float = 0.25,
+        kout_fraction: float = 0.5,
+    ) -> None:
+        super().__init__(capacity)
+        check_fraction("kin_fraction", kin_fraction)
+        check_fraction("kout_fraction", kout_fraction)
+        self.kin = max(1, int(capacity * kin_fraction))
+        if self.kin >= capacity and capacity > 1:
+            self.kin = capacity - 1
+        self.kout = max(1, int(capacity * kout_fraction))
+        self._a1in: DoublyLinkedList[Block] = DoublyLinkedList()  # FIFO
+        self._am: DoublyLinkedList[Block] = DoublyLinkedList()    # LRU
+        self._where: Dict[Block, tuple] = {}  # block -> (list name, node)
+        self._a1out: "OrderedDict[Block, None]" = OrderedDict()   # ghosts
+
+    def __contains__(self, block: Block) -> bool:
+        return block in self._where
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def _evict_one(self) -> Block:
+        """Reclaim per 2Q: prefer the A1in tail (remembering its ghost),
+        otherwise the Am LRU tail."""
+        if len(self._a1in) > self.kin or not self._am:
+            node = self._a1in.pop_back()
+            victim = node.value
+            self._a1out[victim] = None
+            while len(self._a1out) > self.kout:
+                self._a1out.popitem(last=False)
+        else:
+            node = self._am.pop_back()
+            victim = node.value
+        del self._where[victim]
+        return victim
+
+    def touch(self, block: Block) -> None:
+        self._require_resident(block)
+        where, node = self._where[block]
+        if where == _AM:
+            self._am.move_to_front(node)
+        # A hit in A1in leaves the block in place (2Q's defining rule:
+        # correlated re-references inside probation prove nothing).
+
+    def insert(self, block: Block) -> List[Block]:
+        self._require_absent(block)
+        evicted: List[Block] = []
+        if self.full:
+            evicted.append(self._evict_one())
+        if block in self._a1out:
+            del self._a1out[block]
+            self._where[block] = (_AM, self._am.push_front(ListNode(block)))
+        else:
+            self._where[block] = (
+                _A1IN,
+                self._a1in.push_front(ListNode(block)),
+            )
+        return evicted
+
+    def remove(self, block: Block) -> None:
+        self._require_resident(block)
+        where, node = self._where.pop(block)
+        (self._am if where == _AM else self._a1in).remove(node)
+
+    def victim(self) -> Optional[Block]:
+        if not self.full:
+            return None
+        if len(self._a1in) > self.kin or not self._am:
+            return self._a1in.tail.value  # type: ignore[union-attr]
+        return self._am.tail.value  # type: ignore[union-attr]
+
+    def resident(self) -> Iterator[Block]:
+        yield from self._a1in.values()
+        yield from self._am.values()
+
+    def in_ghost(self, block: Block) -> bool:
+        """Whether A1out remembers ``block`` (tests)."""
+        return block in self._a1out
+
+    def queue_of(self, block: Block) -> str:
+        """``"a1in"`` or ``"am"`` for a resident block (tests)."""
+        self._require_resident(block)
+        return self._where[block][0]

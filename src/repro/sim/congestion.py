@@ -1,0 +1,187 @@
+"""Network-congestion-aware access times.
+
+The paper (and Chen et al. [15], which it cites) argue that unified
+LRU's benefits "can be nullified ... once the I/O bandwidth is below a
+certain threshold": demotions and retrievals *share* the client-server
+link, so a high demotion rate doesn't just add transfer time — it loads
+the network and inflates every transfer's latency.
+
+The plain :class:`~repro.sim.costs.CostModel` prices transfers at fixed
+latencies. This module adds an open-queueing correction: given the
+measured per-reference block transfers on each link and the workload's
+reference rate, each link is an M/M/1-like server whose effective
+transfer time is ``T / (1 - rho)`` with utilisation
+``rho = offered transfers/s x T``. As the demotion traffic pushes a link
+towards saturation, T_ave diverges — reproducing [15]'s throughput
+collapse and making the demotion-rate comparison an end-to-end latency
+story rather than a fixed surcharge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.costs import CostModel
+from repro.sim.metrics import MetricsCollector
+from repro.sim.results import RunResult
+from repro.util.validation import check_fraction, check_positive
+
+#: Utilisation cap: beyond this a link is reported saturated rather than
+#: returning astronomically large (and meaningless) M/M/1 numbers.
+MAX_UTILISATION = 0.95
+
+
+@dataclass(frozen=True)
+class LinkLoad:
+    """Offered load and effective latency of one boundary link."""
+
+    boundary: int           # 1-based: link between level b and b+1
+    transfers_per_ref: float
+    utilisation: float
+    base_ms: float
+    effective_ms: float
+    saturated: bool
+
+
+def link_transfers_per_ref(
+    metrics_or_result, num_levels: int
+) -> List[float]:
+    """Block transfers crossing each boundary link per reference.
+
+    The link between level ``b`` and ``b+1`` carries: every reference
+    served at a level below ``b`` or from disk (the block travels up
+    through the link), plus every demotion across the boundary (down).
+    """
+    if isinstance(metrics_or_result, MetricsCollector):
+        hit_rates = [
+            metrics_or_result.hit_rate(level)
+            for level in range(1, num_levels + 1)
+        ]
+        miss_rate = metrics_or_result.miss_rate
+        demotion_rates = [
+            metrics_or_result.demotion_rate(b) for b in range(1, num_levels)
+        ]
+    else:
+        hit_rates = list(metrics_or_result.level_hit_rates)
+        miss_rate = metrics_or_result.miss_rate
+        demotion_rates = list(metrics_or_result.demotion_rates)
+
+    loads = []
+    for boundary in range(1, num_levels):
+        upward = sum(hit_rates[boundary:]) + miss_rate
+        downward = demotion_rates[boundary - 1]
+        loads.append(upward + downward)
+    return loads
+
+
+def congested_access_time(
+    result: RunResult,
+    costs: CostModel,
+    reference_rate_per_s: float,
+) -> Dict[str, object]:
+    """T_ave under link congestion at a given reference rate.
+
+    Args:
+        result: a completed run (its hit/demotion rates set the load).
+        costs: the base cost model; ``demotion_times[b-1]`` is taken as
+            the per-block service time of boundary link ``b``.
+        reference_rate_per_s: how fast the workload issues references.
+
+    Returns a dict with per-link :class:`LinkLoad`s, the congested
+    ``t_ave_ms`` (``inf`` when any used link saturates), and the
+    uncongested baseline.
+    """
+    check_positive("reference_rate_per_s", reference_rate_per_s)
+    num_levels = len(result.level_hit_rates)
+    transfers = link_transfers_per_ref(result, num_levels)
+
+    links: List[LinkLoad] = []
+    inflation: List[float] = []
+    saturated = False
+    for boundary, per_ref in enumerate(transfers, start=1):
+        base_ms = costs.demotion_times[boundary - 1]
+        if base_ms <= 0:
+            links.append(
+                LinkLoad(boundary, per_ref, 0.0, base_ms, base_ms, False)
+            )
+            inflation.append(1.0)
+            continue
+        arrivals_per_ms = per_ref * reference_rate_per_s / 1000.0
+        rho = arrivals_per_ms * base_ms
+        if rho >= MAX_UTILISATION:
+            saturated = saturated or per_ref > 0
+            links.append(
+                LinkLoad(boundary, per_ref, rho, base_ms, float("inf"), True)
+            )
+            inflation.append(float("inf"))
+        else:
+            factor = 1.0 / (1.0 - rho)
+            links.append(
+                LinkLoad(
+                    boundary, per_ref, rho, base_ms, base_ms * factor, False
+                )
+            )
+            inflation.append(factor)
+
+    if saturated:
+        t_ave = float("inf")
+    else:
+        # Inflate every transfer using link b by that link's factor. A
+        # hit at level k uses links 1..k-1; a miss uses every link; a
+        # demotion across boundary b uses link b.
+        t_ave = 0.0
+        hit_rates = result.level_hit_rates
+        for level in range(1, num_levels + 1):
+            time_ms = 0.0
+            for boundary in range(1, level):
+                time_ms += costs.demotion_times[boundary - 1] * inflation[
+                    boundary - 1
+                ]
+            # Any fixed non-link hit time component (e.g. level-1 zero).
+            residual = costs.hit_times[level - 1] - sum(
+                costs.demotion_times[b - 1] for b in range(1, level)
+            )
+            time_ms += max(0.0, residual)
+            t_ave += hit_rates[level - 1] * time_ms
+        miss_time = costs.miss_time - sum(costs.demotion_times)
+        t_ave += result.miss_rate * (
+            max(0.0, miss_time)
+            + sum(
+                costs.demotion_times[b - 1] * inflation[b - 1]
+                for b in range(1, num_levels)
+            )
+        )
+        for boundary in range(1, num_levels):
+            t_ave += (
+                result.demotion_rates[boundary - 1]
+                * costs.demotion_times[boundary - 1]
+                * inflation[boundary - 1]
+            )
+
+    return {
+        "links": links,
+        "t_ave_ms": t_ave,
+        "t_ave_uncongested_ms": result.t_ave_ms,
+        "saturated": saturated,
+    }
+
+
+def saturation_rate(
+    result: RunResult, costs: CostModel
+) -> float:
+    """The reference rate (refs/s) at which the busiest link saturates.
+
+    ``inf`` when the scheme moves no blocks over any priced link.
+    """
+    num_levels = len(result.level_hit_rates)
+    transfers = link_transfers_per_ref(result, num_levels)
+    best = float("inf")
+    for boundary, per_ref in enumerate(transfers, start=1):
+        base_ms = costs.demotion_times[boundary - 1]
+        if per_ref <= 0 or base_ms <= 0:
+            continue
+        rate = MAX_UTILISATION * 1000.0 / (per_ref * base_ms)
+        best = min(best, rate)
+    return best

@@ -1,0 +1,109 @@
+"""The trace-driven simulation engine.
+
+Feeds a :class:`~repro.workloads.base.Trace` through a
+:class:`~repro.hierarchy.base.MultiLevelScheme`, warming the hierarchy on
+a leading fraction of the trace (the paper uses the first tenth) and
+collecting metrics over the remainder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hierarchy.base import MultiLevelScheme
+from repro.sim.costs import CostModel
+from repro.sim.metrics import MetricsCollector
+from repro.sim.results import RunResult
+from repro.util.validation import check_fraction
+from repro.workloads.base import Trace
+
+#: The paper's warm-up fraction ("the first one tenth of block references").
+DEFAULT_WARMUP = 0.1
+
+
+def run_simulation(
+    scheme: MultiLevelScheme,
+    trace: Trace,
+    costs: CostModel,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> RunResult:
+    """Drive ``trace`` through ``scheme`` and return the measured result.
+
+    The first ``warmup_fraction`` of references updates the caches but is
+    excluded from every metric.
+    """
+    check_fraction("warmup_fraction", warmup_fraction)
+    warmup_count = int(len(trace) * warmup_fraction)
+    metrics = MetricsCollector(scheme.num_levels, scheme.num_clients)
+
+    clients = trace.clients
+    blocks = trace.blocks
+    access = scheme.access
+    record = metrics.record
+    for index in range(len(trace)):
+        event = access(int(clients[index]), int(blocks[index]))
+        if index >= warmup_count:
+            record(event)
+
+    return RunResult(
+        scheme=scheme.name,
+        workload=trace.info.name,
+        capacities=list(scheme.capacities),
+        num_clients=scheme.num_clients,
+        references=metrics.references,
+        warmup_references=warmup_count,
+        level_hit_rates=[
+            metrics.hit_rate(level) for level in range(1, scheme.num_levels + 1)
+        ],
+        miss_rate=metrics.miss_rate,
+        demotion_rates=[
+            metrics.demotion_rate(boundary)
+            for boundary in range(1, scheme.num_levels)
+        ],
+        t_ave_ms=metrics.average_access_time(costs),
+        t_hit_ms=metrics.hit_time_component(costs),
+        t_miss_ms=metrics.miss_time_component(costs),
+        t_demotion_ms=metrics.demotion_time_component(costs)
+        + metrics.message_time_component(costs),
+        extras=_result_extras(metrics),
+    )
+
+
+def _result_extras(metrics: MetricsCollector) -> dict:
+    extras = {
+        "temp_hits": float(metrics.temp_hits),
+        "control_messages": float(metrics.control_messages),
+        "evictions": float(metrics.evictions),
+    }
+    if metrics.num_clients > 1:
+        for client in range(metrics.num_clients):
+            refs = metrics.per_client_refs[client]
+            misses = metrics.per_client_misses[client]
+            extras[f"client{client}_refs"] = float(refs)
+            extras[f"client{client}_hit_rate"] = (
+                (refs - misses) / refs if refs else 0.0
+            )
+            extras[f"client{client}_demotions"] = float(
+                metrics.per_client_demotions[client]
+            )
+    return extras
+
+
+def run_with_collector(
+    scheme: MultiLevelScheme,
+    trace: Trace,
+    warmup_fraction: float = DEFAULT_WARMUP,
+    collector: Optional[MetricsCollector] = None,
+) -> MetricsCollector:
+    """Lower-level entry point returning the raw collector (tests,
+    custom analyses)."""
+    check_fraction("warmup_fraction", warmup_fraction)
+    warmup_count = int(len(trace) * warmup_fraction)
+    metrics = collector or MetricsCollector(
+        scheme.num_levels, scheme.num_clients
+    )
+    for index, request in enumerate(trace):
+        event = scheme.access(request.client, request.block)
+        if index >= warmup_count:
+            metrics.record(event)
+    return metrics

@@ -1,0 +1,70 @@
+"""Parameter sweeps: run a family of configurations over one trace.
+
+Figure 7 sweeps the server cache size for four schemes over three
+multi-client workloads; this module provides the generic machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.hierarchy.base import MultiLevelScheme
+from repro.sim.costs import CostModel
+from repro.sim.engine import DEFAULT_WARMUP, run_simulation
+from repro.sim.results import RunResult
+from repro.workloads.base import Trace
+
+SchemeBuilder = Callable[[List[int]], MultiLevelScheme]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: the swept value and its run result."""
+
+    value: int
+    result: RunResult
+
+
+def sweep_server_size(
+    builders: Dict[str, SchemeBuilder],
+    trace: Trace,
+    client_capacity: int,
+    server_sizes: Sequence[int],
+    costs: CostModel,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, List[SweepPoint]]:
+    """Run every scheme at every server size over ``trace``.
+
+    ``builders`` maps a scheme label to a function building a fresh
+    scheme from ``[client_capacity, server_size]`` (fresh state per
+    point — sweeps never reuse warm caches).
+
+    Returns ``{label: [SweepPoint, ...]}`` in ``server_sizes`` order.
+    """
+    out: Dict[str, List[SweepPoint]] = {label: [] for label in builders}
+    for server_size in server_sizes:
+        for label, builder in builders.items():
+            scheme = builder([client_capacity, int(server_size)])
+            result = run_simulation(
+                scheme, trace, costs, warmup_fraction=warmup_fraction
+            )
+            out[label].append(SweepPoint(int(server_size), result))
+    return out
+
+
+def best_of(points_by_variant: Dict[str, List[SweepPoint]]) -> List[SweepPoint]:
+    """Pointwise best (lowest T_ave) across variants of one scheme.
+
+    The paper ran all Wong & Wilkes uniLRU versions "and report the best
+    results for comparisons"; this helper implements that selection.
+    """
+    variants = list(points_by_variant.values())
+    if not variants:
+        return []
+    length = len(variants[0])
+    best: List[SweepPoint] = []
+    for index in range(length):
+        candidates = [variant[index] for variant in variants]
+        best.append(min(candidates, key=lambda p: p.result.t_ave_ms))
+    return best

@@ -1,0 +1,123 @@
+"""Binary indexed (Fenwick) tree with order-statistic queries.
+
+The measure analysis in :mod:`repro.analysis` needs the *recency* of a block
+— its position in an LRU stack — in O(log n) time. The standard trick is to
+give every access a fresh, monotonically increasing timestamp slot, keep a
+Fenwick tree over the slots where slot *t* holds 1 if the block whose latest
+access happened at *t* is still live, and compute the recency of a block as
+the number of live slots after its own.
+
+The tree here is generic: it supports point updates and prefix sums over
+integer frequencies, plus ``rank``/``select`` order statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+class FenwickTree:
+    """Fenwick tree over ``size`` integer-valued slots, indexed from 0.
+
+    All operations are O(log size). The tree can grow on demand via
+    :meth:`grow`, which is amortised O(1) per added slot.
+    """
+
+    def __init__(self, size: int = 0) -> None:
+        if size < 0:
+            raise ConfigurationError(f"FenwickTree size must be >= 0, got {size}")
+        self._size = size
+        # One-based internal array; slot i is stored under index i + 1.
+        self._tree: List[int] = [0] * (size + 1)
+        self._total = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def total(self) -> int:
+        """Sum of all slot values."""
+        return self._total
+
+    def grow(self, new_size: int) -> None:
+        """Extend the tree to ``new_size`` slots (new slots hold 0)."""
+        if new_size < self._size:
+            raise ConfigurationError(
+                f"cannot shrink FenwickTree from {self._size} to {new_size}"
+            )
+        if new_size == self._size:
+            return
+        old = self.to_list()
+        self._size = new_size
+        self._tree = [0] * (new_size + 1)
+        self._total = 0
+        for index, value in enumerate(old):
+            if value:
+                self.add(index, value)
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` to slot ``index``."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        self._total += delta
+        i = index + 1
+        while i <= self._size:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of slots ``[0, index]``; ``index`` of -1 yields 0."""
+        if index >= self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        total = 0
+        i = index + 1
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of slots ``[lo, hi]`` inclusive. Empty if ``lo > hi``."""
+        if lo > hi:
+            return 0
+        base = self.prefix_sum(lo - 1) if lo > 0 else 0
+        return self.prefix_sum(hi) - base
+
+    def get(self, index: int) -> int:
+        """Value currently stored in slot ``index``."""
+        return self.range_sum(index, index)
+
+    def suffix_sum(self, index: int) -> int:
+        """Sum of slots ``[index, size)``."""
+        if index <= 0:
+            return self._total
+        return self._total - self.prefix_sum(index - 1)
+
+    def select(self, k: int) -> int:
+        """Index of the slot containing the ``k``-th unit (0-based).
+
+        Treats the tree as a multiset where slot *i* appears ``get(i)``
+        times; returns the index holding the k-th smallest element.
+        Requires all slot values to be non-negative.
+        """
+        if not 0 <= k < self._total:
+            raise IndexError(f"rank {k} out of range [0, {self._total})")
+        pos = 0
+        remaining = k + 1
+        # Highest power of two <= size.
+        bitmask = 1
+        while bitmask * 2 <= self._size:
+            bitmask *= 2
+        while bitmask:
+            nxt = pos + bitmask
+            if nxt <= self._size and self._tree[nxt] < remaining:
+                pos = nxt
+                remaining -= self._tree[nxt]
+            bitmask //= 2
+        return pos  # zero-based slot index (pos is 1-based minus one already)
+
+    def to_list(self) -> List[int]:
+        """Dense copy of all slot values (O(n log n); for tests/debugging)."""
+        return [self.get(i) for i in range(self._size)]

@@ -1,0 +1,132 @@
+"""Streaming statistics helpers.
+
+Used by the metrics collector and the trace statistics module to summarise
+long reference streams without storing them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class RunningStats:
+    """Welford accumulator for count / mean / variance / min / max."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 when fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self.mean * self.count
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator equal to folding both inputs."""
+        merged = RunningStats()
+        merged.count = self.count + other.count
+        if merged.count == 0:
+            return merged
+        delta = other.mean - self.mean
+        merged.mean = (
+            self.mean * self.count + other.mean * other.count
+        ) / merged.count
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / merged.count
+        )
+        mins = [m for m in (self.min, other.min) if m is not None]
+        maxs = [m for m in (self.max, other.max) if m is not None]
+        merged.min = min(mins) if mins else None
+        merged.max = max(maxs) if maxs else None
+        return merged
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot for serialisation."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.min if self.min is not None else float("nan"),
+            "max": self.max if self.max is not None else float("nan"),
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram over non-negative integers.
+
+    Buckets are geometric by default (1, 2, 4, ...) which suits reuse
+    distances and queue depths; exact small values stay distinguishable
+    while the tail is compact.
+    """
+
+    def __init__(self, num_buckets: int = 32, geometric: bool = True) -> None:
+        self.geometric = geometric
+        self.counts: List[int] = [0] * num_buckets
+        self.overflow = 0
+        self.total = 0
+
+    def _bucket(self, value: int) -> int:
+        if value < 0:
+            raise ValueError(f"Histogram values must be >= 0, got {value}")
+        if not self.geometric:
+            return value
+        return value.bit_length()  # 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3 ...
+
+    def add(self, value: int, weight: int = 1) -> None:
+        """Count ``value`` with multiplicity ``weight``."""
+        bucket = self._bucket(value)
+        self.total += weight
+        if bucket >= len(self.counts):
+            self.overflow += weight
+        else:
+            self.counts[bucket] += weight
+
+    def bucket_bounds(self, bucket: int) -> Tuple[int, int]:
+        """Inclusive (low, high) value range covered by ``bucket``."""
+        if not self.geometric:
+            return bucket, bucket
+        if bucket == 0:
+            return 0, 0
+        return 1 << (bucket - 1), (1 << bucket) - 1
+
+    def nonzero(self) -> List[Tuple[Tuple[int, int], int]]:
+        """List of ((low, high), count) for buckets with any mass."""
+        out = []
+        for bucket, count in enumerate(self.counts):
+            if count:
+                out.append((self.bucket_bounds(bucket), count))
+        return out

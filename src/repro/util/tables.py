@@ -1,0 +1,123 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment prints its results as aligned ASCII tables so the
+regenerated figures/tables can be compared against the paper directly in a
+terminal, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(cell: Cell, float_fmt: str) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return format(cell, float_fmt)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    float_fmt: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Numeric columns are right-aligned, text columns left-aligned. Floats
+    use ``float_fmt``.
+    """
+    str_rows: List[List[str]] = [
+        [_format_cell(cell, float_fmt) for cell in row] for row in rows
+    ]
+    columns = len(headers)
+    for row in str_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {columns} columns"
+            )
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    # A column is numeric if every body cell parses as a number (or is "-").
+    numeric = []
+    for i in range(columns):
+        column = [row[i] for row in str_rows if row[i] != "-"]
+        numeric.append(bool(column) and all(_is_number(cell) for cell in column))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    rule = "  ".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append(rule)
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def format_grid(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Sequence[Sequence[Cell]],
+    corner: str = "",
+    float_fmt: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Render a labelled 2-D grid (rows × columns) as an ASCII table."""
+    headers = [corner] + list(col_labels)
+    rows = []
+    if len(values) != len(row_labels):
+        raise ValueError(
+            f"{len(values)} value rows but {len(row_labels)} row labels"
+        )
+    for label, row in zip(row_labels, values):
+        rows.append([label] + list(row))
+    return format_table(headers, rows, float_fmt=float_fmt, title=title)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    float_fmt: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Render a horizontal ASCII bar chart (used by the CLI reports)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    peak = max((abs(v) for v in values), default=0.0)
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = ""
+        if peak > 0:
+            bar = "#" * max(0, round(abs(value) / peak * width))
+        lines.append(
+            f"{label.ljust(label_width)}  {format(value, float_fmt).rjust(10)}  {bar}"
+        )
+    return "\n".join(lines)

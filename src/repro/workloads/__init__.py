@@ -1,0 +1,111 @@
+"""Workload generation, trace containers and trace statistics.
+
+The generators in this package substitute for the paper's trace files
+(see DESIGN.md, substitution table): every access pattern the evaluation
+relies on — looping, temporally-clustered, uniform, Zipf, mixed, shared
+and partitioned multi-client — is reproducible from an integer seed.
+"""
+
+from repro.workloads.base import Request, Trace, TraceInfo
+from repro.workloads.classify import (
+    PATTERNS,
+    PatternVerdict,
+    classify_pattern,
+    pattern_features,
+)
+from repro.workloads.filtered import filter_through_cache, filtering_report
+from repro.workloads.io import load_npz, load_text, save_npz, save_text
+from repro.workloads.largescale import (
+    LARGE_WORKLOADS,
+    dev1_like,
+    httpd_like_single,
+    make_large_workload,
+    random_large,
+    tpcc1_like,
+    zipf_large,
+)
+from repro.workloads.multiclient import (
+    MULTI_WORKLOADS,
+    NUM_CLIENTS,
+    db2_like,
+    httpd_like,
+    make_multi_workload,
+    openmail_like,
+)
+from repro.workloads.smallscale import (
+    SMALL_WORKLOADS,
+    cs_like,
+    glimpse_like,
+    make_small_workload,
+    multi_like,
+    random_small,
+    sprite_like,
+    zipf_small,
+)
+from repro.workloads.stats import (
+    TraceStats,
+    describe,
+    lru_hit_rate_curve,
+    reuse_distances,
+    sharing_fraction,
+    working_set_sizes,
+)
+from repro.workloads.synthetic import (
+    interleaved_trace,
+    looping_trace,
+    phased_trace,
+    random_trace,
+    sequential_trace,
+    temporal_trace,
+    zipf_trace,
+)
+
+__all__ = [
+    "Request",
+    "Trace",
+    "TraceInfo",
+    "save_npz",
+    "filter_through_cache",
+    "PATTERNS",
+    "PatternVerdict",
+    "classify_pattern",
+    "pattern_features",
+    "filtering_report",
+    "load_npz",
+    "save_text",
+    "load_text",
+    "random_trace",
+    "zipf_trace",
+    "sequential_trace",
+    "looping_trace",
+    "temporal_trace",
+    "phased_trace",
+    "interleaved_trace",
+    "SMALL_WORKLOADS",
+    "make_small_workload",
+    "cs_like",
+    "glimpse_like",
+    "sprite_like",
+    "zipf_small",
+    "random_small",
+    "multi_like",
+    "LARGE_WORKLOADS",
+    "make_large_workload",
+    "random_large",
+    "zipf_large",
+    "httpd_like_single",
+    "dev1_like",
+    "tpcc1_like",
+    "MULTI_WORKLOADS",
+    "NUM_CLIENTS",
+    "make_multi_workload",
+    "httpd_like",
+    "openmail_like",
+    "db2_like",
+    "TraceStats",
+    "describe",
+    "reuse_distances",
+    "lru_hit_rate_curve",
+    "sharing_fraction",
+    "working_set_sizes",
+]

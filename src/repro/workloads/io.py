@@ -1,0 +1,107 @@
+"""Trace persistence.
+
+Two formats:
+
+- ``.npz`` — compact binary (NumPy archive) including metadata; the
+  default for generated traces.
+- text — one ``client block`` pair per line with ``#``-comments, for
+  interoperability with external trace tools and hand-written fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.workloads.base import Trace, TraceInfo
+
+PathLike = Union[str, Path]
+
+
+def save_npz(trace: Trace, path: PathLike) -> None:
+    """Write a trace to a ``.npz`` archive (blocks, clients, metadata)."""
+    meta = {
+        "name": trace.info.name,
+        "description": trace.info.description,
+        "pattern": trace.info.pattern,
+        "seed": trace.info.seed,
+    }
+    np.savez_compressed(
+        Path(path),
+        blocks=trace.blocks,
+        clients=trace.clients,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+
+
+def load_npz(path: PathLike) -> Trace:
+    """Read a trace written by :func:`save_npz`."""
+    try:
+        with np.load(Path(path)) as archive:
+            blocks = archive["blocks"]
+            clients = archive["clients"]
+            meta = json.loads(archive["meta"].tobytes().decode())
+    except (OSError, KeyError, ValueError) as exc:
+        raise TraceFormatError(f"cannot load trace from {path}: {exc}") from exc
+    info = TraceInfo(
+        name=meta.get("name", "unnamed"),
+        description=meta.get("description", ""),
+        pattern=meta.get("pattern", "unknown"),
+        seed=meta.get("seed"),
+    )
+    return Trace(blocks, clients, info)
+
+
+def save_text(trace: Trace, path: PathLike) -> None:
+    """Write a trace as ``client block`` lines with a metadata header."""
+    with open(Path(path), "w", encoding="utf-8") as handle:
+        handle.write(f"# name: {trace.info.name}\n")
+        handle.write(f"# pattern: {trace.info.pattern}\n")
+        for request in trace:
+            handle.write(f"{request.client} {request.block}\n")
+
+
+def load_text(path: PathLike) -> Trace:
+    """Read a ``client block``-per-line text trace.
+
+    Lines may also hold a single block id (client 0 is assumed), matching
+    common single-client trace dumps.
+    """
+    clients = []
+    blocks = []
+    name = Path(path).stem
+    pattern = "unknown"
+    try:
+        with open(Path(path), "r", encoding="utf-8") as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    body = line[1:].strip()
+                    if body.startswith("name:"):
+                        name = body[len("name:"):].strip()
+                    elif body.startswith("pattern:"):
+                        pattern = body[len("pattern:"):].strip()
+                    continue
+                parts = line.split()
+                try:
+                    if len(parts) == 1:
+                        clients.append(0)
+                        blocks.append(int(parts[0]))
+                    elif len(parts) == 2:
+                        clients.append(int(parts[0]))
+                        blocks.append(int(parts[1]))
+                    else:
+                        raise ValueError("expected 1 or 2 fields")
+                except ValueError as exc:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: bad trace line {line!r} ({exc})"
+                    ) from exc
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace {path}: {exc}") from exc
+    return Trace(blocks, clients, TraceInfo(name=name, pattern=pattern))

@@ -1,0 +1,247 @@
+"""Synthetic access-pattern generators.
+
+These are the pattern building blocks from Section 2.2 of the paper:
+looping, temporally-clustered (LRU-friendly), uniformly random, Zipf-like,
+sequential, and mixtures thereof. Each generator returns a
+:class:`~repro.workloads.base.Trace` and is fully determined by its seed.
+
+All generators produce *block-id streams*; multi-client composition lives
+in :mod:`repro.workloads.multiclient`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.rng import make_rng
+from repro.util.validation import check_fraction, check_int, check_positive
+from repro.workloads.base import Trace, TraceInfo
+
+
+def _info(name: str, pattern: str, seed: Optional[int], description: str) -> TraceInfo:
+    return TraceInfo(name=name, description=description, pattern=pattern, seed=seed)
+
+
+def random_trace(
+    num_blocks: int,
+    num_refs: int,
+    seed: int = 0,
+    base_block: int = 0,
+    name: str = "random",
+) -> Trace:
+    """Uniform independent references over ``num_blocks`` blocks.
+
+    The paper: "Trace random has a spatially uniform distribution of
+    references across all the accessed blocks. This access pattern is
+    common in database applications."
+    """
+    check_positive("num_blocks", num_blocks)
+    check_int("num_refs", num_refs)
+    rng = make_rng(seed)
+    blocks = rng.integers(0, num_blocks, size=num_refs) + base_block
+    return Trace(
+        blocks,
+        None,
+        _info(name, "random", seed, f"uniform over {num_blocks} blocks"),
+    )
+
+
+def zipf_trace(
+    num_blocks: int,
+    num_refs: int,
+    alpha: float = 1.0,
+    seed: int = 0,
+    shuffle_ranks: bool = False,
+    base_block: int = 0,
+    name: str = "zipf",
+) -> Trace:
+    """Zipf-distributed references: P(block i) proportional to 1/(i+1)^alpha.
+
+    The paper: "In trace zipf only a few blocks are frequently accessed.
+    Formally, the probability of a reference to the i-th block is
+    proportional to 1/i." (alpha = 1).
+
+    Args:
+        shuffle_ranks: when True, popularity ranks are mapped to random
+            block ids so popularity is not correlated with block order —
+            closer to real file systems.
+    """
+    check_positive("num_blocks", num_blocks)
+    check_positive("alpha", alpha)
+    rng = make_rng(seed)
+    weights = 1.0 / np.power(np.arange(1, num_blocks + 1, dtype=np.float64), alpha)
+    probabilities = weights / weights.sum()
+    ranks = rng.choice(num_blocks, size=num_refs, p=probabilities)
+    if shuffle_ranks:
+        mapping = rng.permutation(num_blocks)
+        ranks = mapping[ranks]
+    return Trace(
+        ranks + base_block,
+        None,
+        _info(name, "zipf", seed, f"zipf(alpha={alpha}) over {num_blocks} blocks"),
+    )
+
+
+def sequential_trace(
+    num_blocks: int,
+    num_refs: Optional[int] = None,
+    base_block: int = 0,
+    name: str = "sequential",
+) -> Trace:
+    """One (or a partial number of) sequential pass(es) over the blocks."""
+    check_positive("num_blocks", num_blocks)
+    if num_refs is None:
+        num_refs = num_blocks
+    blocks = (np.arange(num_refs) % num_blocks) + base_block
+    return Trace(
+        blocks,
+        None,
+        _info(name, "sequential", None, f"sequential over {num_blocks} blocks"),
+    )
+
+
+def looping_trace(
+    num_blocks: int,
+    num_refs: int,
+    jitter: float = 0.0,
+    seed: int = 0,
+    base_block: int = 0,
+    name: str = "loop",
+) -> Trace:
+    """Repeated cyclic scans over ``num_blocks`` blocks.
+
+    This is the ``cs``-style pattern: "all blocks are regularly and
+    repeatedly accessed". With loop length > cache size it is LRU's worst
+    case — every reference arrives at a recency equal to the loop
+    distance, exactly the tpcc1 behaviour that drives uniLRU's demotion
+    rate to 100%.
+
+    Args:
+        jitter: probability that a reference is replaced by a uniformly
+            random block from the loop (models small irregularities).
+    """
+    check_positive("num_blocks", num_blocks)
+    check_fraction("jitter", jitter)
+    blocks = (np.arange(num_refs, dtype=np.int64) % num_blocks)
+    if jitter > 0:
+        rng = make_rng(seed)
+        noisy = rng.random(num_refs) < jitter
+        blocks[noisy] = rng.integers(0, num_blocks, size=int(noisy.sum()))
+    return Trace(
+        blocks + base_block,
+        None,
+        _info(name, "looping", seed, f"loop of {num_blocks} blocks"),
+    )
+
+
+def temporal_trace(
+    num_blocks: int,
+    num_refs: int,
+    mean_depth: Optional[float] = None,
+    seed: int = 0,
+    base_block: int = 0,
+    name: str = "temporal",
+) -> Trace:
+    """Temporally-clustered (LRU-friendly) references.
+
+    Models the ``sprite`` pattern: "blocks accessed more recently are the
+    ones more likely to be accessed soon". Each reference re-touches the
+    block at a geometrically distributed LRU-stack depth; depths beyond
+    the current stack touch new (cold) blocks.
+
+    Args:
+        mean_depth: mean of the geometric stack-depth distribution
+            (default ``num_blocks / 8``).
+    """
+    check_positive("num_blocks", num_blocks)
+    if mean_depth is None:
+        mean_depth = max(2.0, num_blocks / 8.0)
+    check_positive("mean_depth", mean_depth)
+    rng = make_rng(seed)
+    depths = rng.geometric(p=min(1.0, 1.0 / mean_depth), size=num_refs) - 1
+    stack: List[int] = []
+    next_new = 0
+    blocks = np.empty(num_refs, dtype=np.int64)
+    for i in range(num_refs):
+        depth = int(depths[i])
+        if depth < len(stack):
+            block = stack.pop(depth)
+        else:
+            if next_new < num_blocks:
+                block = next_new
+                next_new += 1
+            else:
+                # Universe exhausted: touch the coldest tracked block.
+                block = stack.pop()
+        stack.insert(0, block)
+        blocks[i] = block
+    return Trace(
+        blocks + base_block,
+        None,
+        _info(
+            name,
+            "temporal",
+            seed,
+            f"LRU-friendly, geometric depth mean {mean_depth:.1f}",
+        ),
+    )
+
+
+def phased_trace(
+    phases: Sequence[Trace],
+    name: str = "mixed",
+    pattern: str = "mixed",
+) -> Trace:
+    """Concatenate traces as consecutive phases (the ``multi`` pattern:
+    "mixed with sequential, looping and probabilistic references")."""
+    if not phases:
+        raise ConfigurationError("phased_trace needs at least one phase")
+    info = _info(
+        name,
+        pattern,
+        phases[0].info.seed,
+        " + ".join(p.info.pattern for p in phases),
+    )
+    return Trace.concat(phases, info)
+
+
+def interleaved_trace(
+    components: Sequence[Trace],
+    weights: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    name: str = "interleaved",
+) -> Trace:
+    """Probabilistically interleave several traces reference-by-reference.
+
+    Each output reference is drawn from component *i* with probability
+    ``weights[i]``, consuming that component's stream in order (wrapping
+    around when exhausted). Models concurrent activities on one client,
+    e.g. an index-lookup stream mixed into a table-scan loop.
+    """
+    if not components:
+        raise ConfigurationError("interleaved_trace needs at least one component")
+    if weights is None:
+        weights = [1.0 / len(components)] * len(components)
+    if len(weights) != len(components):
+        raise ConfigurationError("weights and components must align")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ConfigurationError("weights must sum to a positive value")
+    probabilities = np.asarray(weights, dtype=np.float64) / total
+    rng = make_rng(seed)
+    length = sum(len(c) for c in components)
+    choices = rng.choice(len(components), size=length, p=probabilities)
+    cursors = [0] * len(components)
+    blocks = np.empty(length, dtype=np.int64)
+    for position, component in enumerate(choices.tolist()):
+        stream = components[component].blocks
+        blocks[position] = stream[cursors[component] % len(stream)]
+        cursors[component] += 1
+    return Trace(
+        blocks,
+        None,
+        _info(name, "mixed", seed, " | ".join(c.info.pattern for c in components)),
+    )

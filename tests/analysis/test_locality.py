@@ -1,0 +1,162 @@
+"""Tests for the Section-2 measure analysis (Figures 2/3 semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ALL_MEASURES,
+    analyze_measures,
+    render_figure2,
+    render_figure2_cumulative,
+    render_figure3,
+    render_table1,
+)
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    Trace,
+    looping_trace,
+    make_small_workload,
+    temporal_trace,
+    zipf_trace,
+)
+
+
+class TestAnalyzeMeasuresBasics:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            analyze_measures(Trace([]))
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            analyze_measures(Trace([1, 2]), measures=["XYZ"])
+
+    def test_reports_present(self):
+        analysis = analyze_measures(zipf_trace(30, 500, seed=1))
+        assert set(analysis.reports) == set(ALL_MEASURES)
+        for report in analysis.reports.values():
+            assert report.segment_refs.sum() == report.references
+
+    def test_first_accesses_excluded_by_default(self):
+        trace = Trace([1, 2, 3, 1])
+        analysis = analyze_measures(trace, measures=["R"], num_segments=3)
+        # Only the final re-reference is counted.
+        assert analysis.reports["R"].references == 1
+
+    def test_first_accesses_included_when_requested(self):
+        trace = Trace([1, 2, 3, 1])
+        analysis = analyze_measures(
+            trace, measures=["R"], num_segments=3, count_first_access=True
+        )
+        assert analysis.reports["R"].references == 4
+
+    def test_subset_of_measures(self):
+        analysis = analyze_measures(
+            zipf_trace(30, 300, seed=2), measures=["LLD-R"]
+        )
+        assert list(analysis.reports) == ["LLD-R"]
+
+    def test_deterministic(self):
+        trace = zipf_trace(40, 800, seed=3)
+        a = analyze_measures(trace)
+        b = analyze_measures(trace)
+        for measure in ALL_MEASURES:
+            assert np.array_equal(
+                a.reports[measure].segment_refs,
+                b.reports[measure].segment_refs,
+            )
+            assert np.array_equal(
+                a.reports[measure].crossings, b.reports[measure].crossings
+            )
+
+
+class TestPaperSection2Claims:
+    """The qualitative claims of Section 2.2, on scaled-down workloads."""
+
+    @pytest.fixture(scope="class")
+    def looping_analysis(self):
+        return analyze_measures(looping_trace(120, 4000, name="cs"))
+
+    @pytest.fixture(scope="class")
+    def temporal_analysis(self):
+        return analyze_measures(
+            temporal_trace(200, 6000, mean_depth=20, seed=9, name="sprite")
+        )
+
+    @pytest.fixture(scope="class")
+    def zipf_analysis(self):
+        return analyze_measures(zipf_trace(150, 6000, seed=8, name="zipf"))
+
+    def test_nd_best_distinction(self, zipf_analysis):
+        """ND gives the best (head-concentrated) reference distribution."""
+        for other in ["R", "NLD", "LLD-R"]:
+            assert (
+                zipf_analysis.head_concentration("ND") + 1e-9
+                >= zipf_analysis.head_concentration(other) - 0.05
+            )
+
+    def test_r_fails_on_looping(self, looping_analysis):
+        """On a looping pattern R sends references to the tail segments
+        while LLD-R keeps them ranked (observation (3) of Sec. 2.2)."""
+        assert looping_analysis.head_concentration("R", 5) < 0.2
+        assert looping_analysis.head_concentration(
+            "LLD-R", 5
+        ) > looping_analysis.head_concentration("R", 5)
+
+    def test_r_good_on_lru_friendly(self, temporal_analysis):
+        """On sprite-like traces R performs well (and a bit better than
+        LLD-R at the head)."""
+        assert temporal_analysis.head_concentration("R", 3) > 0.5
+
+    def test_stability_nld_lldr_beat_nd_r(
+        self, looping_analysis, temporal_analysis, zipf_analysis
+    ):
+        """Observation (1) of Figure 3: ND and R have the highest
+        movement ratios; NLD and LLD-R are far more stable."""
+        for analysis in [looping_analysis, temporal_analysis, zipf_analysis]:
+            assert analysis.mean_movement_ratio("NLD") < analysis.mean_movement_ratio("ND")
+            assert analysis.mean_movement_ratio("LLD-R") < analysis.mean_movement_ratio("R")
+
+    def test_lldr_tracks_nld_distribution(self, zipf_analysis):
+        """Except for random, LLD-R's distribution is close to NLD's."""
+        lldr = zipf_analysis.reports["LLD-R"].cumulative_ratios
+        nld = zipf_analysis.reports["NLD"].cumulative_ratios
+        assert np.abs(lldr - nld).max() < 0.25
+
+    def test_random_trace_flat_distribution(self):
+        """On random, online measures approach RANDOM replacement: the
+        reference distribution over segments is roughly flat."""
+        from repro.workloads import random_trace
+
+        analysis = analyze_measures(
+            random_trace(200, 8000, seed=4, name="random"), measures=["R"]
+        )
+        ratios = analysis.reports["R"].reference_ratios
+        assert ratios.max() - ratios.min() < 0.08
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return analyze_measures(make_small_workload("zipf", scale=0.03))
+
+    def test_render_figure2(self, analysis):
+        text = render_figure2(analysis)
+        assert "Figure 2" in text and "S10" in text and "LLD-R" in text
+
+    def test_render_figure2_cumulative(self, analysis):
+        text = render_figure2_cumulative(analysis)
+        assert "cumulative" in text
+
+    def test_render_figure3(self, analysis):
+        text = render_figure3(analysis)
+        assert "Figure 3" in text and "B9" in text
+
+    def test_render_table1(self, analysis):
+        text = render_table1([analysis])
+        assert "Table 1" in text
+        # The structural facts of Table 1 hold.
+        lines = text.splitlines()
+        online_row = next(l for l in lines if l.startswith("On-line"))
+        assert online_row.split()[-4:] == ["no", "yes", "no", "yes"]

@@ -1,0 +1,128 @@
+"""Brute-force validation of the full Section-2 analysis pipeline.
+
+Recomputes, in plain Python with full re-sorts, the exact per-segment
+reference counts and per-boundary crossing counts for all four measures,
+and checks :func:`repro.analysis.analyze_measures` against it on small
+random traces. This pins down the semantics end to end: value
+definitions, tie-breaking, first-access handling and crossing counting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_measures
+from repro.core.measures import (
+    NO_VALUE,
+    next_reference_times,
+    nld_values,
+    recencies_at_access,
+)
+from repro.workloads import Trace
+
+INF = math.inf
+
+
+def naive_analysis(blocks: List[int], num_segments: int):
+    """Plain-Python recomputation of the four measures' statistics."""
+    universe = sorted(set(blocks))
+    index_of = {b: i for i, b in enumerate(universe)}
+    n = len(universe)
+    ids = [index_of[b] for b in blocks]
+
+    recency_at = recencies_at_access(ids)
+    next_ref = next_reference_times(ids)
+    nld_at = nld_values(ids)
+
+    boundaries = [int(round(k * n / num_segments)) for k in range(1, num_segments)]
+
+    def ranks(values):
+        order = sorted(range(n), key=lambda i: (values[i], i))
+        out = [0] * n
+        for rank, item in enumerate(order):
+            out[item] = rank
+        return out
+
+    def segment(rank):
+        seg = 0
+        for boundary in boundaries:
+            if rank >= boundary:
+                seg += 1
+        return seg
+
+    measures = ("ND", "R", "NLD", "LLD-R")
+    values: Dict[str, List[float]] = {m: [INF] * n for m in measures}
+    prev_ranks = {m: ranks(values[m]) for m in measures}
+    seg_refs = {m: [0] * num_segments for m in measures}
+    crossings = {m: [0] * (num_segments - 1) for m in measures}
+    seen = [False] * n
+    lld = [-INF] * n
+    last_access = [None] * n
+
+    for t, item in enumerate(ids):
+        first = not seen[item]
+        for m in measures:
+            if not first:
+                seg_refs[m][segment(prev_ranks[m][item])] += 1
+
+        # R values: rank by -last_access (unaccessed -> INF).
+        last_access[item] = t
+        values["R"] = [
+            -last_access[i] if last_access[i] is not None else INF
+            for i in range(n)
+        ]
+        values["ND"][item] = (
+            next_ref[t] if next_ref[t] != NO_VALUE else INF
+        )
+        values["NLD"][item] = (
+            nld_at[t] if nld_at[t] != NO_VALUE else INF
+        )
+        seen[item] = True
+        lld[item] = recency_at[t] if recency_at[t] != NO_VALUE else -INF
+        r_ranks = ranks(values["R"])
+        values["LLD-R"] = [
+            max(lld[i], r_ranks[i]) if seen[i] else INF for i in range(n)
+        ]
+
+        for m in measures:
+            new_ranks = ranks(values[m])
+            for b_index, boundary in enumerate(boundaries):
+                for i in range(n):
+                    if (prev_ranks[m][i] < boundary) != (
+                        new_ranks[i] < boundary
+                    ):
+                        crossings[m][b_index] += 1
+            prev_ranks[m] = new_ranks
+
+    return seg_refs, crossings
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    blocks=st.lists(st.integers(0, 7), min_size=4, max_size=60),
+    num_segments=st.sampled_from([2, 3, 4]),
+)
+def test_pipeline_matches_naive(blocks, num_segments):
+    if len(set(blocks)) < num_segments:
+        return  # tracker requires at least one item per segment
+    analysis = analyze_measures(Trace(blocks), num_segments=num_segments)
+    seg_refs, crossings = naive_analysis(blocks, num_segments)
+    for measure in ("ND", "R", "NLD", "LLD-R"):
+        report = analysis.reports[measure]
+        assert list(report.segment_refs) == seg_refs[measure], measure
+        assert list(report.crossings) == crossings[measure], measure
+
+
+def test_scripted_small_example():
+    blocks = [1, 2, 1, 3, 2, 1]
+    analysis = analyze_measures(Trace(blocks), num_segments=3)
+    seg_refs, crossings = naive_analysis(blocks, 3)
+    for measure in ("ND", "R", "NLD", "LLD-R"):
+        report = analysis.reports[measure]
+        assert list(report.segment_refs) == seg_refs[measure]
+        assert list(report.crossings) == crossings[measure]

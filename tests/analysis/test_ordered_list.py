@@ -1,0 +1,132 @@
+"""Tests for the ordered-list tracker against a brute-force model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ordered_list import OrderedListTracker
+from repro.errors import ConfigurationError
+
+
+class BruteForceList:
+    """Naive model: full re-sort and explicit crossing counting."""
+
+    def __init__(self, num_items, num_segments):
+        self.values = [float("inf")] * num_items
+        self.num_items = num_items
+        self.boundaries = [
+            int(round(k * num_items / num_segments))
+            for k in range(1, num_segments)
+        ]
+        self.order = list(range(num_items))
+        self.crossings = [0] * (num_segments - 1)
+
+    def ranks(self):
+        order = sorted(range(self.num_items), key=lambda i: (self.values[i], i))
+        ranks = [0] * self.num_items
+        for rank, item in enumerate(order):
+            ranks[item] = rank
+        return ranks
+
+    def commit(self, old_ranks):
+        new_ranks = self.ranks()
+        for b_index, boundary in enumerate(self.boundaries):
+            for item in range(self.num_items):
+                if (old_ranks[item] < boundary) != (new_ranks[item] < boundary):
+                    self.crossings[b_index] += 1
+        return new_ranks
+
+
+class TestTrackerBasics:
+    def test_initial_order_by_index(self):
+        tracker = OrderedListTracker(10, 5)
+        for item in range(10):
+            assert tracker.rank_of(item) == item
+
+    def test_segment_of_rank(self):
+        tracker = OrderedListTracker(10, 5)
+        assert tracker.segment_of_rank(0) == 0
+        assert tracker.segment_of_rank(1) == 0
+        assert tracker.segment_of_rank(2) == 1
+        assert tracker.segment_of_rank(9) == 4
+
+    def test_observe_counts_segment(self):
+        tracker = OrderedListTracker(10, 5)
+        segment = tracker.observe(5)
+        assert segment == 2
+        assert tracker.segment_refs[2] == 1
+        assert tracker.references == 1
+
+    def test_observe_uncounted(self):
+        tracker = OrderedListTracker(10, 5)
+        tracker.observe(5, count=False)
+        assert tracker.references == 0
+        assert tracker.segment_refs.sum() == 0
+
+    def test_commit_moves_item_to_head(self):
+        tracker = OrderedListTracker(10, 5)
+        tracker.values[9] = -1.0
+        tracker.commit()
+        assert tracker.rank_of(9) == 0
+        # 9 crossed every boundary moving up; one displaced item crossed
+        # each boundary moving down.
+        assert list(tracker.crossings) == [2, 2, 2, 2]
+        assert list(tracker.crossings_down) == [1, 1, 1, 1]
+
+    def test_tie_broken_by_index_no_phantom_moves(self):
+        tracker = OrderedListTracker(6, 3)
+        tracker.values[:] = [1.0] * 6
+        tracker.commit()
+        first = list(tracker.crossings)
+        tracker.commit()  # no value change: no movement
+        assert list(tracker.crossings) == first
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            OrderedListTracker(0)
+        with pytest.raises(ConfigurationError):
+            OrderedListTracker(5, num_segments=1)
+        with pytest.raises(ConfigurationError):
+            OrderedListTracker(5, num_segments=6)
+
+    def test_report_snapshot_is_copy(self):
+        tracker = OrderedListTracker(10, 5)
+        report = tracker.report()
+        tracker.observe(1)
+        assert report.references == 0
+
+    def test_report_ratios(self):
+        tracker = OrderedListTracker(10, 5)
+        tracker.observe(0)
+        tracker.observe(0)
+        tracker.observe(5)
+        report = tracker.report()
+        assert report.reference_ratios[0] == pytest.approx(2 / 3)
+        assert report.cumulative_ratios[-1] == pytest.approx(1.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    num_items=st.integers(4, 20),
+    updates=st.lists(
+        st.tuples(st.integers(0, 19), st.floats(-100, 100)), max_size=40
+    ),
+)
+def test_property_matches_brute_force(num_items, updates):
+    """Crossing counts match the brute-force model for arbitrary updates."""
+    num_segments = 4
+    tracker = OrderedListTracker(num_items, num_segments)
+    model = BruteForceList(num_items, num_segments)
+    old_ranks = model.ranks()
+    for item, value in updates:
+        item %= num_items
+        tracker.values[item] = value
+        model.values[item] = value
+        tracker.commit()
+        old_ranks = model.commit(old_ranks)
+        for i in range(num_items):
+            assert tracker.rank_of(i) == old_ranks[i]
+    assert list(tracker.crossings) == model.crossings

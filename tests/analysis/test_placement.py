@@ -1,0 +1,86 @@
+"""Tests for the placement-churn analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import PlacementTracker, placement_churn
+from repro.core.events import AccessEvent, Demotion
+from repro.errors import ConfigurationError
+from repro.hierarchy import ULCScheme, UnifiedLRUScheme
+from repro.workloads import Trace, looping_trace
+
+
+class TestPlacementTracker:
+    def test_first_sighting_is_not_a_change(self):
+        tracker = PlacementTracker(2)
+        tracker.record(AccessEvent(block=1, placed_level=1))
+        assert tracker.placement_changes == 0
+
+    def test_level_change_counted(self):
+        tracker = PlacementTracker(2)
+        tracker.record(AccessEvent(block=1, placed_level=2))
+        tracker.record(AccessEvent(block=1, placed_level=1))
+        assert tracker.placement_changes == 1
+
+    def test_stable_placement_not_counted(self):
+        tracker = PlacementTracker(2)
+        for _ in range(5):
+            tracker.record(AccessEvent(block=1, placed_level=1))
+        assert tracker.placement_changes == 0
+
+    def test_demotion_moves_other_block(self):
+        tracker = PlacementTracker(2)
+        tracker.record(AccessEvent(block=9, placed_level=1))
+        tracker.record(
+            AccessEvent(
+                block=1, placed_level=1, demotions=(Demotion(9, 1, 2),)
+            )
+        )
+        assert tracker.demotion_transfers == 1
+        assert tracker.placement_changes == 1  # block 9 moved
+
+    def test_eviction_is_a_change(self):
+        tracker = PlacementTracker(2)
+        tracker.record(AccessEvent(block=9, placed_level=2))
+        tracker.record(AccessEvent(block=1, placed_level=1, evicted=(9,)))
+        assert tracker.placement_changes == 1
+
+    def test_out_of_hierarchy_demotion_not_a_transfer(self):
+        tracker = PlacementTracker(2)
+        tracker.record(AccessEvent(block=9, placed_level=2))
+        tracker.record(
+            AccessEvent(
+                block=1, placed_level=1, demotions=(Demotion(9, 2, 3),)
+            )
+        )
+        assert tracker.demotion_transfers == 0
+        assert tracker.placement_changes == 1
+
+    def test_stats_shape(self):
+        tracker = PlacementTracker(2)
+        tracker.record(AccessEvent(block=1, placed_level=1))
+        stats = tracker.stats()
+        assert stats.references == 1
+        assert stats.change_rate == 0.0
+        assert stats.tracked_blocks == 1
+
+
+class TestPlacementChurn:
+    def test_invalid_warmup(self):
+        with pytest.raises(ConfigurationError):
+            placement_churn(ULCScheme([2, 2]), Trace([1]), warmup_fraction=2.0)
+
+    def test_ulc_more_stable_than_unilru_on_loop(self):
+        trace = looping_trace(60, 6000)
+        uni = placement_churn(UnifiedLRUScheme([20, 50]), trace)
+        ulc = placement_churn(ULCScheme([20, 50], templru_capacity=0), trace)
+        assert ulc.change_rate < uni.change_rate
+        assert ulc.mean_residency_refs > uni.mean_residency_refs
+
+    def test_unilru_loop_changes_every_reference(self):
+        """Every looping reference moves two blocks (the accessed one up,
+        the displaced one down): change rate ~2/ref."""
+        trace = looping_trace(60, 6000)
+        uni = placement_churn(UnifiedLRUScheme([20, 50]), trace)
+        assert uni.change_rate > 1.5

@@ -1,0 +1,64 @@
+"""Tests for the report rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_figure6, render_sweep
+from repro.sim import RunResult, SweepPoint
+
+
+def make_result(scheme, workload, t_ave=1.0, hits=(0.5, 0.2), miss=0.3,
+                demotions=(0.1,)):
+    return RunResult(
+        scheme=scheme,
+        workload=workload,
+        capacities=[4] * len(hits),
+        num_clients=1,
+        references=100,
+        warmup_references=10,
+        level_hit_rates=list(hits),
+        miss_rate=miss,
+        demotion_rates=list(demotions),
+        t_ave_ms=t_ave,
+        t_hit_ms=0.2,
+        t_miss_ms=0.7,
+        t_demotion_ms=0.1,
+    )
+
+
+class TestRenderFigure6:
+    def test_all_three_panels(self):
+        results = {
+            "A": [make_result("A", "w1"), make_result("A", "w2")],
+            "B": [make_result("B", "w1"), make_result("B", "w2")],
+        }
+        text = render_figure6(results)
+        assert "Figure 6a" in text
+        assert "Figure 6b" in text
+        assert "Figure 6c" in text
+        assert "A/w1" in text and "B/w2" in text
+        assert "L1 hit" in text and "B1" in text and "T_ave" in text
+
+    def test_demo_share_column(self):
+        results = {"A": [make_result("A", "w", t_ave=2.0)]}
+        text = render_figure6(results)
+        # demotion part 0.1 of T_ave 2.0 -> share 0.05
+        assert "0.050" in text
+
+
+class TestRenderSweep:
+    def test_table_layout(self):
+        series = {
+            "X": [SweepPoint(8, make_result("X", "w", t_ave=3.0)),
+                  SweepPoint(16, make_result("X", "w", t_ave=2.0))],
+            "Y": [SweepPoint(8, make_result("Y", "w", t_ave=4.0)),
+                  SweepPoint(16, make_result("Y", "w", t_ave=1.0))],
+        }
+        text = render_sweep("w", series)
+        assert "Figure 7 [w]" in text
+        lines = text.splitlines()
+        header = lines[1]
+        assert "8" in header and "16" in header
+        body = "\n".join(lines[3:])
+        assert "3.000" in body and "1.000" in body

@@ -1,0 +1,171 @@
+"""A naive executable specification of the two-level multi-client ULC.
+
+Mirrors the operational semantics of :mod:`repro.core.multi` with plain
+Python lists and O(n) scans: per-client uniLRU stacks (level 1 private,
+level 2 = the shared server), a gLRU list with owner tags, anchored
+demotion inserts, lazy (delivered-at-next-access) eviction notices, and
+owner-guarded releases. Used to property-test the optimized
+implementation observable-for-observable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class NaiveClientStack:
+    """Naive per-client stack: blocks top-first, level map (1/2/out)."""
+
+    OUT = 3
+
+    def __init__(self, capacity: int, server_capacity: int) -> None:
+        self.capacity = capacity
+        self.server_capacity = server_capacity
+        self.stack: List[object] = []
+        self.level: Dict[object, int] = {}
+
+    def members(self, lvl: int) -> List[object]:
+        return [b for b in self.stack if self.level[b] == lvl]
+
+    def yardstick(self, lvl: int) -> Optional[object]:
+        members = self.members(lvl)
+        return members[-1] if members else None
+
+    def region(self, block: object) -> int:
+        position = self.stack.index(block)
+        for lvl in (1, 2):
+            mark = self.yardstick(lvl)
+            if mark is not None and position <= self.stack.index(mark):
+                return lvl
+        return self.OUT
+
+    def prune(self) -> None:
+        while self.stack and self.level[self.stack[-1]] == self.OUT:
+            del self.level[self.stack.pop()]
+
+    def to_top(self, block: object, lvl: int) -> None:
+        if block in self.level:
+            self.stack.remove(block)
+        self.stack.insert(0, block)
+        self.level[block] = lvl
+        self.prune()
+
+    def set_out(self, block: object) -> None:
+        if block in self.level:
+            self.level[block] = self.OUT
+            self.prune()
+
+
+class NaiveMultiULC:
+    """Two-level multi-client ULC: executable spec."""
+
+    def __init__(
+        self, num_clients: int, client_capacity: int, server_capacity: int
+    ) -> None:
+        self.clients = [
+            NaiveClientStack(client_capacity, server_capacity)
+            for _ in range(num_clients)
+        ]
+        self.server_capacity = server_capacity
+        self.glru: List[object] = []      # MRU first
+        self.owner: Dict[object, int] = {}
+        self.pending: Dict[int, List[object]] = {}
+
+    # -- server helpers ------------------------------------------------------
+
+    def _server_evict(self) -> None:
+        victim = self.glru.pop()
+        owner = self.owner.pop(victim)
+        self.pending.setdefault(owner, []).append(victim)
+
+    def _want_cached(self, block: object, owner: int) -> None:
+        if block in self.owner:
+            self.glru.remove(block)
+            self.glru.insert(0, block)
+            self.owner[block] = owner
+            return
+        if len(self.glru) >= self.server_capacity:
+            self._server_evict()
+        self.glru.insert(0, block)
+        self.owner[block] = owner
+
+    def _want_cached_demoted(
+        self,
+        block: object,
+        owner: int,
+        colder: Optional[object],
+        warmer: Optional[object],
+    ) -> None:
+        if block in self.owner:
+            self.glru.remove(block)
+            del self.owner[block]
+        if colder is not None and colder in self.owner:
+            self.glru.insert(self.glru.index(colder), block)
+        elif warmer is not None and warmer in self.owner:
+            self.glru.insert(self.glru.index(warmer) + 1, block)
+        else:
+            self.glru.insert(0, block)
+        self.owner[block] = owner
+        if len(self.glru) > self.server_capacity:
+            self._server_evict()
+
+    def _apply_own_notices(self, client: int) -> None:
+        stack = self.clients[client]
+        for block in self.pending.pop(client, []):
+            if stack.level.get(block) == 2:
+                stack.set_out(block)
+
+    # -- the protocol ----------------------------------------------------------
+
+    def access(self, client: int, block: object) -> Tuple[Optional[int], Optional[int], int]:
+        """Returns (hit_level, placed_level, demotion_count)."""
+        self._apply_own_notices(client)
+        stack = self.clients[client]
+
+        if block in stack.level:
+            level_status = stack.level[block]
+            region = stack.region(block)
+        else:
+            level_status = stack.OUT
+            region = stack.OUT
+
+        if level_status == 1:
+            hit = 1
+        elif level_status == 2 and block in self.owner:
+            hit = 2
+        else:
+            hit = None
+
+        if region == stack.OUT:
+            if len(stack.members(1)) < stack.capacity:
+                placed: Optional[int] = 1
+            elif len(stack.members(2)) < self.server_capacity:
+                placed = 2
+            else:
+                placed = None
+        else:
+            placed = region
+
+        stack.to_top(block, placed if placed is not None else stack.OUT)
+
+        if placed == 2:
+            self._want_cached(block, client)
+            self._apply_own_notices(client)
+        elif level_status == 2 and placed != 2:
+            if self.owner.get(block) == client:
+                self.glru.remove(block)
+                del self.owner[block]
+
+        demotions = 0
+        if placed == 1 and len(stack.members(1)) > stack.capacity:
+            victim = stack.yardstick(1)
+            stack.level[victim] = 2
+            demotions += 1
+            members = stack.members(2)
+            index = members.index(victim)
+            colder = members[index + 1] if index + 1 < len(members) else None
+            warmer = members[index - 1] if index > 0 else None
+            self._want_cached_demoted(victim, client, colder, warmer)
+            self._apply_own_notices(client)
+
+        return hit, placed, demotions

@@ -1,0 +1,116 @@
+"""A naive, obviously-correct executable specification of single-client ULC.
+
+Implements the paper's Section 3.2.1 semantics with plain Python lists
+and O(n) scans per operation:
+
+- one global stack (list of blocks, top first), holding cached blocks
+  and L_out blocks above the last yardstick;
+- a level map block -> 1..n (cached) or n+1 (L_out);
+- yardstick Y_l = the deepest stack element with level l;
+- recency region of a block = the smallest l whose yardstick is at or
+  below it;
+- on access: re-rank to the recency region (or the first unfilled level
+  for L_out blocks), move to top, then demote yardsticks down the chain
+  while any level is over capacity; demotion from the last level marks
+  the block L_out; finally prune L_out entries off the stack bottom.
+
+The optimized :class:`repro.core.protocol.ULCClient` must agree with
+this model on every observable: stack order, level assignments, hit
+levels, placement decisions and demotion sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class NaiveULC:
+    """O(n)-per-operation reference model of single-client ULC."""
+
+    def __init__(self, capacities: List[int]) -> None:
+        self.capacities = list(capacities)
+        self.n = len(capacities)
+        self.out = self.n + 1
+        self.stack: List[object] = []  # blocks, top first
+        self.level: Dict[object, int] = {}  # for blocks in the stack
+
+    # -- helpers ------------------------------------------------------------
+
+    def level_members(self, lvl: int) -> List[object]:
+        """Blocks of a level in stack (recency) order, top first."""
+        return [b for b in self.stack if self.level[b] == lvl]
+
+    def yardstick(self, lvl: int) -> Optional[object]:
+        members = self.level_members(lvl)
+        return members[-1] if members else None
+
+    def region(self, block: object) -> int:
+        position = self.stack.index(block)
+        for lvl in range(1, self.n + 1):
+            mark = self.yardstick(lvl)
+            if mark is not None and position <= self.stack.index(mark):
+                return lvl
+        return self.out
+
+    def first_unfilled(self) -> Optional[int]:
+        for lvl in range(1, self.n + 1):
+            if len(self.level_members(lvl)) < self.capacities[lvl - 1]:
+                return lvl
+        return None
+
+    def prune(self) -> None:
+        while self.stack and self.level[self.stack[-1]] == self.out:
+            dropped = self.stack.pop()
+            del self.level[dropped]
+
+    # -- the protocol --------------------------------------------------------
+
+    def access(self, block: object) -> Tuple[Optional[int], Optional[int], List[Tuple[int, int]]]:
+        """Returns (hit_level, placed_level, demotions as (src, dst))."""
+        demotions: List[Tuple[int, int]] = []
+
+        if block not in self.level:
+            fill = self.first_unfilled()
+            placed = fill if fill is not None else None
+            self.stack.insert(0, block)
+            self.level[block] = fill if fill is not None else self.out
+            self.prune()
+            return None, placed, demotions
+
+        level_status = self.level[block]
+        reg = self.region(block)
+        hit = level_status if level_status != self.out else None
+
+        if reg == self.out:
+            fill = self.first_unfilled()
+            new_level = fill if fill is not None else self.out
+            placed = fill
+        else:
+            new_level = reg
+            placed = reg
+
+        self.stack.remove(block)
+        self.stack.insert(0, block)
+        self.level[block] = new_level
+
+        lvl = new_level
+        while (
+            lvl <= self.n
+            and len(self.level_members(lvl)) > self.capacities[lvl - 1]
+        ):
+            victim = self.yardstick(lvl)
+            self.level[victim] = lvl + 1 if lvl < self.n else self.out
+            demotions.append((lvl, lvl + 1))
+            lvl += 1
+
+        self.prune()
+        return hit, placed, demotions
+
+    # -- observables -----------------------------------------------------------
+
+    def cached_level(self, block: object) -> Optional[int]:
+        lvl = self.level.get(block)
+        return lvl if lvl is not None and lvl != self.out else None
+
+    def stack_blocks(self) -> List[object]:
+        return list(self.stack)

@@ -1,0 +1,162 @@
+"""Edge-case and failure-injection tests for the ULC core."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ULCClient, ULCMultiSystem, UniLRUStack
+from repro.core.events import AccessEvent, Demotion
+from repro.errors import ProtocolError
+
+from tests.core.naive_ulc import NaiveULC
+
+
+class TestDeepHierarchies:
+    def test_five_level_cascade(self):
+        """A promotion to L1 in a full 5-level hierarchy cascades a
+        demotion across every boundary."""
+        engine = ULCClient([1, 1, 1, 1, 1], templru_capacity=0)
+        for block in range(5):
+            engine.access(block)
+        # Block 4 (cached at L5) re-referenced at the smallest recency:
+        # promoted to L1, demoting one yardstick across every boundary
+        # above L5 (the slot vacated at L5 absorbs the chain).
+        event = engine.access(4)
+        assert event.hit_level == 5
+        assert event.placed_level == 1
+        chain = [(d.src, d.dst) for d in event.demotions]
+        assert chain == [(1, 2), (2, 3), (3, 4), (4, 5)]
+        engine.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(blocks=st.lists(st.integers(0, 14), max_size=200))
+    def test_five_level_matches_naive(self, blocks):
+        engine = ULCClient([1, 2, 1, 2, 1], templru_capacity=0)
+        model = NaiveULC([1, 2, 1, 2, 1])
+        for block in blocks:
+            event = engine.access(block)
+            hit, placed, demotions = model.access(block)
+            assert event.hit_level == hit
+            assert event.placed_level == placed
+            assert [(d.src, d.dst) for d in event.demotions] == demotions
+        engine.check_invariants()
+
+    def test_single_level_selective_insertion(self):
+        """With one level ULC behaves like LRU with cold-block bypass:
+        resident blocks hit, warm re-references are cached, blocks whose
+        recency exceeds every resident's are not."""
+        engine = ULCClient([2], templru_capacity=0)
+        engine.access("a")
+        engine.access("b")
+        assert engine.access("a").hit_level == 1
+        # A new block while full: not cached.
+        event = engine.access("x")
+        assert event.hit_level is None
+        assert event.placed_level is None
+        # Re-referenced promptly: recency beats the stale resident -> cached.
+        event = engine.access("x")
+        assert event.placed_level == 1
+        engine.check_invariants()
+
+
+class TestStackDefensiveness:
+    def test_neighbours_require_level_membership(self):
+        stack = UniLRUStack([2, 2])
+        node = stack.insert_new("a", stack.out_level)
+        with pytest.raises(ProtocolError):
+            stack.colder_neighbour(node)
+        with pytest.raises(ProtocolError):
+            stack.warmer_neighbour(node)
+
+    def test_forget_unlinks_everywhere(self):
+        stack = UniLRUStack([2, 2])
+        node = stack.insert_new("a", 1)
+        stack.forget(node)
+        assert len(stack) == 0
+        assert stack.level_size(1) == 0
+        # Forgetting is final: the node cannot be evicted afterwards.
+        with pytest.raises(ProtocolError):
+            stack.evict(node)
+
+    def test_max_size_floor_is_cached_blocks(self):
+        """Trimming never removes cached entries even under pressure."""
+        stack = UniLRUStack([2, 2], max_size=4)
+        for i in range(4):
+            stack.insert_new(i, 1 + (i % 2))
+        for i in range(10, 40):
+            stack.insert_new(i, stack.out_level)
+        assert len(stack) == 4
+        for i in range(4):
+            assert i in stack
+
+    def test_touch_to_out_level(self):
+        stack = UniLRUStack([1, 1])
+        a = stack.insert_new("a", 1)
+        stack.insert_new("b", 2)
+        stack.touch(a, stack.out_level)
+        # a went to the top as L_out; it stays (above the cached b).
+        assert "a" in stack
+        assert stack.level_size(1) == 0
+
+
+class TestEventHelpers:
+    def test_demotion_count(self):
+        event = AccessEvent(
+            block=1,
+            demotions=(Demotion(5, 1, 2), Demotion(6, 2, 3), Demotion(7, 1, 2)),
+        )
+        assert event.demotion_count(1) == 2
+        assert event.demotion_count(2) == 1
+        assert event.demotion_count(3) == 0
+
+    def test_hit_property(self):
+        assert AccessEvent(block=1, hit_level=2).hit
+        assert not AccessEvent(block=1).hit
+
+
+class TestMultiClientStress:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        refs=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 40)),
+            min_size=50,
+            max_size=400,
+        )
+    )
+    def test_eight_clients_random_traffic(self, refs):
+        system = ULCMultiSystem(
+            8, client_capacity=2, server_capacity=6, templru_capacity=1
+        )
+        for client, block in refs:
+            system.access(client, block)
+        system.check_invariants()
+        # Shares always sum to occupancy.
+        assert sum(
+            system.server.share_of(c) for c in range(8)
+        ) == len(system.server)
+
+    def test_metadata_bound_in_multi_client(self):
+        system = ULCMultiSystem(
+            2, client_capacity=4, server_capacity=8,
+            templru_capacity=0, max_metadata=16,
+        )
+        for step in range(2000):
+            system.access(step % 2, step % 100)
+        for engine in system.clients:
+            assert len(engine.stack) <= 16
+        system.check_invariants()
+
+    def test_interleaved_promote_release_cycles(self):
+        """Two clients fighting over one shared block: the server must
+        never double-free or resurrect it."""
+        system = ULCMultiSystem(
+            2, client_capacity=1, server_capacity=2, templru_capacity=0
+        )
+        for _ in range(50):
+            system.access(0, "shared")
+            system.access(1, "shared")
+            system.access(0, "mine0")
+            system.access(1, "mine1")
+            system.check_invariants()

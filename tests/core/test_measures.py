@@ -1,0 +1,110 @@
+"""Tests for the four locality measures (paper Section 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measures import (
+    NO_VALUE,
+    lld_r,
+    next_reference_times,
+    nld_values,
+    recencies_at_access,
+)
+
+
+class TestRecencies:
+    def test_first_accesses_have_no_value(self):
+        assert list(recencies_at_access([1, 2, 3])) == [NO_VALUE] * 3
+
+    def test_immediate_reuse(self):
+        assert list(recencies_at_access([1, 1])) == [NO_VALUE, 0]
+
+    def test_stack_distance_semantics(self):
+        # 1 2 3 1: block 1 re-accessed with two distinct blocks in between.
+        out = recencies_at_access([1, 2, 3, 1])
+        assert out[3] == 2
+
+    def test_duplicates_counted_once(self):
+        out = recencies_at_access([1, 2, 2, 1])
+        assert out[3] == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(blocks=st.lists(st.integers(0, 6), max_size=60))
+    def test_matches_naive(self, blocks):
+        naive = []
+        stack = []
+        for block in blocks:
+            if block in stack:
+                naive.append(stack.index(block))
+                stack.remove(block)
+            else:
+                naive.append(NO_VALUE)
+            stack.insert(0, block)
+        assert list(recencies_at_access(blocks)) == naive
+
+
+class TestNextReferenceTimes:
+    def test_basic(self):
+        assert list(next_reference_times([1, 2, 1])) == [2, NO_VALUE, NO_VALUE]
+
+    def test_empty(self):
+        assert len(next_reference_times([])) == 0
+
+    def test_chain(self):
+        assert list(next_reference_times([5, 5, 5])) == [1, 2, NO_VALUE]
+
+
+class TestNLD:
+    def test_nld_is_recency_of_next_reference(self):
+        # Trace: 1 2 3 1. NLD of position 0 is the recency block 1 will
+        # have at position 3, which is 2.
+        out = nld_values([1, 2, 3, 1])
+        assert out[0] == 2
+        assert out[1] == NO_VALUE  # 2 never re-referenced
+        assert out[3] == NO_VALUE  # 1 never referenced after position 3
+
+    def test_nld_stability_against_nd(self):
+        """NLD at a position equals R at the next reference — the link
+        the LLD-R design exploits."""
+        blocks = [1, 2, 1, 3, 2, 1, 2, 3, 1]
+        recencies = recencies_at_access(blocks)
+        next_ref = next_reference_times(blocks)
+        nld = nld_values(blocks)
+        for t in range(len(blocks)):
+            if next_ref[t] != NO_VALUE:
+                assert nld[t] == recencies[next_ref[t]]
+            else:
+                assert nld[t] == NO_VALUE
+
+    @settings(max_examples=40, deadline=None)
+    @given(blocks=st.lists(st.integers(0, 5), max_size=50))
+    def test_property_nld_consistency(self, blocks):
+        recencies = recencies_at_access(blocks)
+        next_ref = next_reference_times(blocks)
+        nld = nld_values(blocks)
+        for t in range(len(blocks)):
+            if next_ref[t] == NO_VALUE:
+                assert nld[t] == NO_VALUE
+            else:
+                assert nld[t] == recencies[next_ref[t]]
+
+
+class TestLLDR:
+    def test_uses_lld_before_recency_exceeds_it(self):
+        assert lld_r(5, 3) == 5
+
+    def test_switches_to_recency_after(self):
+        assert lld_r(5, 9) == 9
+
+    def test_first_access_falls_back_to_recency(self):
+        assert lld_r(NO_VALUE, 7) == 7
+
+    def test_no_recency_falls_back_to_lld(self):
+        assert lld_r(4, NO_VALUE) == 4
+
+    def test_both_missing(self):
+        assert lld_r(NO_VALUE, NO_VALUE) == NO_VALUE

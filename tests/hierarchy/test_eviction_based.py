@@ -1,0 +1,113 @@
+"""Tests for eviction-based placement (Chen et al. 2003)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hierarchy import EvictionBasedScheme, UnifiedLRUMultiScheme, make_scheme
+
+
+class TestEvictionBased:
+    def test_no_demotions_ever(self):
+        scheme = EvictionBasedScheme([1, 4], reload_delay=0)
+        for block in [1, 2, 3, 1, 2, 3]:
+            event = scheme.access(0, block)
+            assert event.demotions == ()
+
+    def test_instant_reload_places_evicted_block_at_server(self):
+        scheme = EvictionBasedScheme([1, 4], reload_delay=0)
+        scheme.access(0, 1)
+        scheme.access(0, 2)  # evicts 1 -> reload scheduled
+        event = scheme.access(0, 1)  # next access completes the reload
+        assert event.hit_level == 2
+        # Two reloads by now: block 1's placement, and block 2's (evicted
+        # by 1's promotion back into the one-slot client).
+        assert scheme.reloads == 2
+
+    def test_reload_window_misses(self):
+        scheme = EvictionBasedScheme([1, 8], reload_delay=5)
+        scheme.access(0, 1)
+        scheme.access(0, 2)  # evicts 1; reload ready at clock 2+5
+        event = scheme.access(0, 1)  # clock 3: still in flight -> miss
+        assert event.hit_level is None
+
+    def test_reload_completes_after_delay(self):
+        scheme = EvictionBasedScheme([1, 8], reload_delay=2)
+        scheme.access(0, 1)
+        scheme.access(0, 2)   # clock 2, evicts 1, ready at 4
+        scheme.access(0, 2)   # clock 3
+        scheme.access(0, 2)   # clock 4 -> reload completed
+        event = scheme.access(0, 1)
+        assert event.hit_level == 2
+
+    def test_client_refetch_cancels_pending_reload(self):
+        scheme = EvictionBasedScheme([1, 8], reload_delay=3)
+        scheme.access(0, 1)
+        scheme.access(0, 2)       # evicts 1 (pending reload)
+        scheme.access(0, 1)       # miss; 1 back at the client
+        assert scheme.pending_reloads <= 1  # 1's reload cancelled
+        for _ in range(5):
+            scheme.access(0, 1)
+        # The cancelled reload never materialises a stale server copy
+        # that would double-cache the block the client holds.
+        assert scheme.access(0, 1).hit_level == 1
+
+    def test_exclusive_promotion(self):
+        scheme = EvictionBasedScheme([1, 4], reload_delay=0)
+        scheme.access(0, 1)
+        scheme.access(0, 2)
+        scheme.access(0, 1)   # server hit, promoted
+        scheme.access(0, 1)
+        event = scheme.access(0, 1)
+        assert event.hit_level == 1
+
+    def test_same_layout_as_demote_when_instant(self):
+        """With a zero reload window, the caching layout converges to
+        unified LRU's (same hit levels on the same trace)."""
+        import random as pyrandom
+
+        rng = pyrandom.Random(4)
+        trace = [rng.randrange(30) for _ in range(4000)]
+        reload_scheme = EvictionBasedScheme([8, 16], reload_delay=0)
+        demote_scheme = UnifiedLRUMultiScheme([8, 16])
+        for block in trace:
+            a = reload_scheme.access(0, block)
+            b = demote_scheme.access(0, block)
+            assert a.hit_level == b.hit_level
+
+    def test_reload_traffic_counted(self):
+        scheme = EvictionBasedScheme([2, 8], reload_delay=0)
+        for block in range(10):
+            scheme.access(0, block)
+        assert scheme.reloads == 8  # every client eviction reloads
+
+    def test_three_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EvictionBasedScheme([1, 1, 1])
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EvictionBasedScheme([1, 1], reload_delay=-1)
+
+    def test_registry(self):
+        scheme = make_scheme("eviction-based", [2, 4], num_clients=2)
+        assert isinstance(scheme, EvictionBasedScheme)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        refs=st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 15)), max_size=150
+        ),
+        delay=st.integers(0, 10),
+    )
+    def test_property_consistency(self, refs, delay):
+        scheme = EvictionBasedScheme([2, 4], num_clients=2, reload_delay=delay)
+        for client, block in refs:
+            event = scheme.access(client, block)
+            assert event.hit_level in (None, 1, 2)
+            assert event.demotions == ()
+            # The server never exceeds capacity even with reloads landing.
+            assert len(scheme._server) <= 4

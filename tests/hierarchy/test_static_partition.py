@@ -1,0 +1,76 @@
+"""Tests for the static-partition allocation baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hierarchy import (
+    ULCMultiScheme,
+    ULCStaticPartitionScheme,
+    make_scheme,
+)
+
+
+class TestStaticPartition:
+    def test_shares_split_evenly(self):
+        scheme = ULCStaticPartitionScheme([4, 10], num_clients=3)
+        shares = [scheme.share_of(c) for c in range(3)]
+        assert sorted(shares) == [3, 3, 4]
+        assert sum(shares) == 10
+
+    def test_share_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ULCStaticPartitionScheme([4, 3], num_clients=4)
+
+    def test_three_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ULCStaticPartitionScheme([1, 1, 1])
+
+    def test_clients_fully_isolated(self):
+        """One client's traffic can never evict another's server share."""
+        scheme = ULCStaticPartitionScheme([1, 4], num_clients=2,
+                                          templru_capacity=0)
+        # Client 0 warms its share.
+        for block in [1, 2, 3]:
+            scheme.access(0, block)
+        before = [scheme.access(0, b).hit for b in [1, 2, 3]]
+        # Client 1 floods its own partition.
+        for block in range(100, 160):
+            scheme.access(1, block)
+        after = [scheme.access(0, b).hit for b in [1, 2, 3]]
+        assert after == before
+
+    def test_registry(self):
+        scheme = make_scheme("ulc-static", [2, 8], num_clients=2)
+        assert isinstance(scheme, ULCStaticPartitionScheme)
+
+    def test_single_client_equals_dynamic(self):
+        """With one client there is nothing to allocate: static and
+        dynamic behave identically."""
+        import random as pyrandom
+
+        rng = pyrandom.Random(3)
+        static = ULCStaticPartitionScheme([4, 8], 1, templru_capacity=0)
+        dynamic = ULCMultiScheme([4, 8], 1, templru_capacity=0)
+        for _ in range(2000):
+            block = rng.randrange(30)
+            a = static.access(0, block)
+            b = dynamic.access(0, block)
+            assert a.hit_level == b.hit_level
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        refs=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 20)), max_size=200
+        )
+    )
+    def test_property_consistency(self, refs):
+        scheme = ULCStaticPartitionScheme([2, 6], num_clients=3,
+                                          templru_capacity=0)
+        for client, block in refs:
+            event = scheme.access(client, block)
+            assert event.client == client
+            assert event.hit_level in (None, 1, 2)

@@ -1,0 +1,224 @@
+"""Contract tests every replacement policy must satisfy.
+
+The same suite runs against each registered policy (plus OPT with a fixed
+trace), checking the invariants the hierarchy schemes depend on:
+capacity is never exceeded, hits never evict, misses evict at most one
+block, remove() really removes, victim() does not mutate, and the
+resident set matches a naive shadow model.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.policies import (
+    ARCPolicy,
+    CLOCKPolicy,
+    FIFOPolicy,
+    LFUPolicy,
+    LIRSPolicy,
+    LRUKPolicy,
+    LRUPolicy,
+    MQPolicy,
+    MRUPolicy,
+    OPTPolicy,
+    RandomPolicy,
+    TwoQPolicy,
+)
+
+CAPACITY = 4
+
+# A fixed trace long enough for all scripted contract scenarios; OPT is
+# constructed over it and the scripted tests replay prefixes of it. The
+# first four references re-touch block 1 before the cache fills so the
+# hit-path test holds for every policy.
+SCRIPT_TRACE = [1, 2, 3, 1, 5, 1, 2, 6, 7, 8, 9, 1, 2, 3, 4, 5, 6, 7, 8, 9] * 4
+
+
+def make_policies():
+    return {
+        "lru": lambda: LRUPolicy(CAPACITY),
+        "mru": lambda: MRUPolicy(CAPACITY),
+        "fifo": lambda: FIFOPolicy(CAPACITY),
+        "clock": lambda: CLOCKPolicy(CAPACITY),
+        "lfu": lambda: LFUPolicy(CAPACITY),
+        "random": lambda: RandomPolicy(CAPACITY, seed=1),
+        "mq": lambda: MQPolicy(CAPACITY, life_time=8),
+        "lirs": lambda: LIRSPolicy(CAPACITY),
+        "arc": lambda: ARCPolicy(CAPACITY),
+        "2q": lambda: TwoQPolicy(CAPACITY),
+        "lru-k": lambda: LRUKPolicy(CAPACITY),
+        "opt": lambda: OPTPolicy(CAPACITY, SCRIPT_TRACE),
+    }
+
+
+POLICY_NAMES = sorted(make_policies())
+
+
+@pytest.fixture(params=POLICY_NAMES)
+def policy(request):
+    return make_policies()[request.param]()
+
+
+def drive(policy, trace):
+    """Replay ``trace`` through access(); returns list of AccessResults."""
+    return [policy.access(block) for block in trace]
+
+
+class TestContract:
+    def test_starts_empty(self, policy):
+        assert len(policy) == 0
+        assert not policy.full
+        assert policy.victim() is None
+        assert list(policy.resident()) == []
+
+    def test_miss_then_hit(self, policy):
+        first = policy.access(SCRIPT_TRACE[0])
+        assert not first.hit
+        assert SCRIPT_TRACE[0] in policy
+        # SCRIPT_TRACE[3] == 1 == SCRIPT_TRACE[0] and the cache (capacity
+        # 4) cannot have evicted anything yet, so this is a hit for every
+        # policy; replaying in trace order keeps OPT in sync.
+        for block in SCRIPT_TRACE[1:3]:
+            policy.access(block)
+        result = policy.access(SCRIPT_TRACE[3])
+        assert result.hit
+        assert result.evicted == []
+
+    def test_capacity_never_exceeded(self, policy):
+        for block in SCRIPT_TRACE:
+            policy.access(block)
+            assert len(policy) <= CAPACITY
+
+    def test_miss_on_full_cache_evicts_exactly_one(self, policy):
+        for block in SCRIPT_TRACE:
+            was_full = policy.full
+            result = policy.access(block)
+            if result.hit:
+                assert result.evicted == []
+            elif was_full:
+                assert len(result.evicted) == 1
+            else:
+                assert result.evicted == []
+
+    def test_evicted_blocks_are_gone(self, policy):
+        for block in SCRIPT_TRACE:
+            result = policy.access(block)
+            for evicted in result.evicted:
+                assert evicted not in policy
+
+    def test_resident_matches_shadow_model(self, policy):
+        shadow = set()
+        for block in SCRIPT_TRACE:
+            result = policy.access(block)
+            shadow.add(block)
+            for evicted in result.evicted:
+                shadow.discard(evicted)
+            assert set(policy.resident()) == shadow
+            assert len(policy) == len(shadow)
+
+    def test_touch_missing_raises(self, policy):
+        with pytest.raises(ProtocolError):
+            policy.touch("nope")
+
+    def test_remove_missing_raises(self, policy):
+        with pytest.raises(ProtocolError):
+            policy.remove("nope")
+
+    def test_remove_really_removes(self, policy):
+        policy.access(SCRIPT_TRACE[0])
+        policy.remove(SCRIPT_TRACE[0])
+        assert SCRIPT_TRACE[0] not in policy
+        assert len(policy) == 0
+
+    def test_victim_is_resident_and_peek_is_stable(self, policy):
+        # SCRIPT_TRACE[:5] touches 4 distinct blocks -> the cache is full.
+        for block in SCRIPT_TRACE[:5]:
+            policy.access(block)
+        assert len(policy) == CAPACITY
+        victim = policy.victim()
+        assert victim in policy
+        assert policy.victim() == victim  # peeking twice is stable
+        assert len(policy) == CAPACITY  # and does not mutate
+
+    def test_victim_none_until_full(self, policy):
+        for block in SCRIPT_TRACE[:3]:  # only 3 distinct blocks
+            policy.access(block)
+            assert policy.victim() is None
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_zero_capacity_rejected(self, name):
+        from repro.errors import ConfigurationError
+
+        factories = {
+            "lru": lambda c: LRUPolicy(c),
+            "mru": lambda c: MRUPolicy(c),
+            "fifo": lambda c: FIFOPolicy(c),
+            "clock": lambda c: CLOCKPolicy(c),
+            "lfu": lambda c: LFUPolicy(c),
+            "random": lambda c: RandomPolicy(c),
+            "mq": lambda c: MQPolicy(c),
+            "lirs": lambda c: LIRSPolicy(c),
+            "arc": lambda c: ARCPolicy(c),
+            "2q": lambda c: TwoQPolicy(c),
+            "lru-k": lambda c: LRUKPolicy(c),
+            "opt": lambda c: OPTPolicy(c, []),
+        }
+        with pytest.raises(ConfigurationError):
+            factories[name](0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    trace=st.lists(st.integers(min_value=0, max_value=12), max_size=120),
+    capacity=st.integers(min_value=1, max_value=6),
+)
+@pytest.mark.parametrize("name", [n for n in POLICY_NAMES if n != "opt"])
+def test_property_capacity_and_consistency(name, trace, capacity):
+    """Random traces keep every policy within capacity and self-consistent."""
+    factories = {
+        "lru": lambda: LRUPolicy(capacity),
+        "mru": lambda: MRUPolicy(capacity),
+        "fifo": lambda: FIFOPolicy(capacity),
+        "clock": lambda: CLOCKPolicy(capacity),
+        "lfu": lambda: LFUPolicy(capacity),
+        "random": lambda: RandomPolicy(capacity, seed=3),
+        "mq": lambda: MQPolicy(capacity, life_time=5),
+        "lirs": lambda: LIRSPolicy(capacity),
+        "arc": lambda: ARCPolicy(capacity),
+        "2q": lambda: TwoQPolicy(capacity),
+        "lru-k": lambda: LRUKPolicy(capacity),
+    }
+    policy = factories[name]()
+    shadow = set()
+    for block in trace:
+        expected_hit = block in shadow
+        result = policy.access(block)
+        assert result.hit == expected_hit
+        shadow.add(block)
+        for evicted in result.evicted:
+            shadow.discard(evicted)
+        assert set(policy.resident()) == shadow
+        assert len(shadow) <= capacity
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=st.lists(st.integers(min_value=0, max_value=8), max_size=100))
+def test_opt_property_contract(trace):
+    """OPT honours the contract when driven in trace order."""
+    policy = OPTPolicy(3, trace)
+    shadow = set()
+    for block in trace:
+        expected_hit = block in shadow
+        result = policy.access(block)
+        assert result.hit == expected_hit
+        shadow.add(block)
+        for evicted in result.evicted:
+            shadow.discard(evicted)
+        assert len(shadow) <= 3
+        assert set(policy.resident()) == shadow

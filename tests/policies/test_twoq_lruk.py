@@ -1,0 +1,102 @@
+"""Behavioural tests for 2Q and LRU-K."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies import LRUKPolicy, LRUPolicy, TwoQPolicy
+
+
+def hit_rate(policy, trace):
+    return sum(policy.access(b).hit for b in trace) / len(trace)
+
+
+class TestTwoQ:
+    def test_new_blocks_enter_probation(self):
+        policy = TwoQPolicy(8)
+        policy.access("a")
+        assert policy.queue_of("a") == "a1in"
+
+    def test_probation_hit_does_not_promote(self):
+        policy = TwoQPolicy(8)
+        policy.access("a")
+        policy.access("a")
+        assert policy.queue_of("a") == "a1in"
+
+    def test_ghost_hit_promotes_to_am(self):
+        policy = TwoQPolicy(4, kin_fraction=0.25, kout_fraction=0.5)
+        # kin = 1: the second insert pushes the first out of probation
+        # into the ghost list once the cache is full.
+        for block in ["a", "b", "c", "d", "e"]:
+            policy.access(block)
+        ghosts = [b for b in "abcde" if policy.in_ghost(b)]
+        assert ghosts, "some block must have fallen into A1out"
+        revived = ghosts[0]
+        policy.access(revived)
+        assert policy.queue_of(revived) == "am"
+
+    def test_one_shot_scan_does_not_pollute_am(self):
+        """2Q's purpose: a long scan of one-shot blocks never touches the
+        protected Am region."""
+        import random as pyrandom
+
+        rng = pyrandom.Random(6)
+        hot = list(range(10))
+        trace = []
+        for i in range(6000):
+            trace.append(rng.choice(hot))
+            trace.append(1000 + i)  # one-shot scan
+        twoq = hit_rate(TwoQPolicy(20), trace)
+        lru = hit_rate(LRUPolicy(20), trace)
+        assert twoq > lru
+
+    def test_kin_bounds(self):
+        policy = TwoQPolicy(2)
+        assert 1 <= policy.kin < 2
+
+
+class TestLRUK:
+    def test_cold_blocks_evicted_before_warm(self):
+        policy = LRUKPolicy(2, k=2)
+        policy.access("warm")
+        policy.access("warm")   # two references: full history
+        policy.access("cold")   # one reference
+        result = policy.access("new")
+        assert result.evicted == ["cold"]
+
+    def test_backward_k_distance(self):
+        policy = LRUKPolicy(4, k=2)
+        policy.access("a")
+        assert policy.backward_k_distance("a") is None
+        policy.access("b")
+        policy.access("a")
+        assert policy.backward_k_distance("a") == 2  # clock 3 - time 1
+
+    def test_k1_degenerates_to_lru(self):
+        import random as pyrandom
+
+        rng = pyrandom.Random(8)
+        trace = [rng.randrange(30) for _ in range(3000)]
+        lruk = LRUKPolicy(8, k=1)
+        lru = LRUPolicy(8)
+        for block in trace:
+            assert lruk.access(block).hit == lru.access(block).hit
+
+    def test_lru2_beats_lru_on_scan_mixture(self):
+        import random as pyrandom
+
+        rng = pyrandom.Random(9)
+        hot = list(range(12))
+        trace = []
+        for i in range(6000):
+            trace.append(rng.choice(hot))
+            trace.append(2000 + i)
+        lru2 = hit_rate(LRUKPolicy(24, k=2), trace)
+        lru = hit_rate(LRUPolicy(24), trace)
+        assert lru2 > lru
+
+    def test_invalid_k(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            LRUKPolicy(4, k=0)

@@ -1,0 +1,54 @@
+"""Tests for the CSV results export."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.sim import RunResult, save_results_csv
+
+
+def make_result(levels=2, scheme="s", workload="w"):
+    return RunResult(
+        scheme=scheme,
+        workload=workload,
+        capacities=[4] * levels,
+        num_clients=1,
+        references=100,
+        warmup_references=10,
+        level_hit_rates=[0.4] + [0.1] * (levels - 1),
+        miss_rate=0.2,
+        demotion_rates=[0.05] * (levels - 1),
+        t_ave_ms=1.5,
+        t_hit_ms=0.3,
+        t_miss_ms=1.0,
+        t_demotion_ms=0.2,
+    )
+
+
+class TestCsvExport:
+    def test_roundtrip_readable(self, tmp_path):
+        path = tmp_path / "r.csv"
+        save_results_csv([make_result(), make_result(scheme="t")], path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["scheme"] == "s"
+        assert float(rows[0]["hit_rate_L1"]) == pytest.approx(0.4)
+        assert float(rows[1]["t_ave_ms"]) == pytest.approx(1.5)
+
+    def test_mixed_depths_padded(self, tmp_path):
+        path = tmp_path / "r.csv"
+        save_results_csv([make_result(levels=2), make_result(levels=3)], path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["hit_rate_L3"] == ""
+        assert rows[1]["hit_rate_L3"] != ""
+
+    def test_empty_list(self, tmp_path):
+        path = tmp_path / "r.csv"
+        save_results_csv([], path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 1  # header only

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.scale == "bench"
+        assert args.workloads is None
+
+    def test_workloads(self):
+        args = build_parser().parse_args(
+            ["figure6", "--workloads", "zipf", "tpcc1"]
+        )
+        assert args.workloads == ["zipf", "tpcc1"]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "huge"])
+
+
+class TestMain:
+    def test_table1_tiny(self, capsys):
+        code = main(["table1", "--scale", "tiny", "--workloads", "zipf", "sprite"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_figure6_tiny_single_workload(self, capsys):
+        code = main(["figure6", "--scale", "tiny", "--workloads", "zipf"])
+        assert code == 0
+        assert "Figure 6a" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, capsys):
+        path = tmp_path / "report.txt"
+        code = main(
+            ["figure2", "--scale", "tiny", "--workloads", "zipf",
+             "--output", str(path)]
+        )
+        assert code == 0
+        assert "Figure 2" in path.read_text()
+
+    def test_bad_workload_is_reported(self, capsys):
+        code = main(["figure6", "--scale", "tiny", "--workloads", "nope"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_workloads_description(self, capsys):
+        code = main(["workloads", "--scale", "tiny", "--workloads", "small"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "small/cs" in out
+        assert "large/" not in out
+
+    def test_workloads_single_name(self, capsys):
+        code = main(["workloads", "--scale", "tiny", "--workloads", "db2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "multi/db2" in out

@@ -1,0 +1,86 @@
+"""Tests for the ``simulate`` CLI command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import Trace, TraceInfo, save_npz
+
+
+class TestSimulate:
+    def test_generated_workload(self, capsys):
+        code = main(
+            ["simulate", "--scheme", "ulc", "--levels", "50", "50",
+             "--workload", "zipf", "--refs", "5000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulation result" in out
+        assert "T_ave (ms)" in out
+
+    def test_three_level_default(self, capsys):
+        code = main(
+            ["simulate", "--scheme", "unilru", "--levels", "20", "20", "20",
+             "--workload", "tpcc1", "--refs", "4000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "B2 demotion rate" in out
+
+    def test_text_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.txt"
+        path.write_text("".join(f"{i % 7}\n" for i in range(200)))
+        code = main(
+            ["simulate", "--scheme", "indlru", "--levels", "4", "4",
+             "--trace", str(path), "--warmup", "0"]
+        )
+        assert code == 0
+        assert "total hit rate" in capsys.readouterr().out
+
+    def test_npz_trace_multi_client(self, tmp_path, capsys):
+        trace = Trace(
+            list(range(50)) * 4,
+            clients=[i % 2 for i in range(200)],
+            info=TraceInfo(name="mc"),
+        )
+        path = tmp_path / "trace.npz"
+        save_npz(trace, path)
+        code = main(
+            ["simulate", "--scheme", "ulc", "--levels", "8", "32",
+             "--trace", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 client(s)" in out
+
+    def test_four_levels_custom_costs(self, capsys):
+        code = main(
+            ["simulate", "--scheme", "indlru",
+             "--levels", "10", "10", "10", "10",
+             "--workload", "random", "--refs", "3000"]
+        )
+        assert code == 0
+        assert "L4 hit rate" in capsys.readouterr().out
+
+    def test_classify_generated(self, capsys):
+        code = main(["classify", "--workload", "tpcc1", "--refs", "8000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pattern" in out
+        assert "reuse_fraction" in out
+
+    def test_classify_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "loop.txt"
+        path.write_text("".join(f"{i % 30}\n" for i in range(3000)))
+        code = main(["classify", "--trace", str(path)])
+        assert code == 0
+        assert "looping" in capsys.readouterr().out
+
+    def test_unknown_scheme_reports_error(self, capsys):
+        code = main(
+            ["simulate", "--scheme", "wishful", "--levels", "4", "4",
+             "--workload", "zipf", "--refs", "1000"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

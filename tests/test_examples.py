@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs end-to-end.
+
+The examples are shrunk via monkeypatched sys.argv where applicable; the
+scripts themselves are executed in-process with runpy so import errors
+and API drift surface in the test suite.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "three_level_comparison", "multi_client_server"} <= names
+    assert len(EXAMPLES) >= 3

@@ -1,0 +1,46 @@
+"""Smoke test for the paper-scale driver script (run at tiny scale)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_run_paper_scale_script(tmp_path):
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "scripts" / "run_paper_scale.py"),
+            "--scale",
+            "tiny",
+            "--out",
+            str(tmp_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for name in [
+        "figure2.txt",
+        "figure3.txt",
+        "table1.txt",
+        "figure6.txt",
+        "figure6.json",
+        "figure6_reductions.txt",
+        "figure7.txt",
+        "figure7.json",
+        "ablations.txt",
+        "report.txt",
+    ]:
+        path = tmp_path / name
+        assert path.exists(), f"missing {name}"
+        assert path.stat().st_size > 0, f"empty {name}"
+    report = (tmp_path / "report.txt").read_text()
+    assert "Figure 2" in report
+    assert "Table 1" in report
+    assert "Figure 6a" in report
+    assert "Figure 7" in report

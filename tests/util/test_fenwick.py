@@ -1,0 +1,133 @@
+"""Unit and property tests for the Fenwick tree."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.util.fenwick import FenwickTree
+
+
+class TestBasics:
+    def test_empty_tree_has_zero_total(self):
+        tree = FenwickTree(0)
+        assert len(tree) == 0
+        assert tree.total == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FenwickTree(-1)
+
+    def test_single_slot(self):
+        tree = FenwickTree(1)
+        tree.add(0, 5)
+        assert tree.prefix_sum(0) == 5
+        assert tree.get(0) == 5
+        assert tree.total == 5
+
+    def test_add_and_prefix_sum(self):
+        tree = FenwickTree(8)
+        for i in range(8):
+            tree.add(i, i)
+        assert tree.prefix_sum(0) == 0
+        assert tree.prefix_sum(3) == 0 + 1 + 2 + 3
+        assert tree.prefix_sum(7) == sum(range(8))
+
+    def test_range_sum(self):
+        tree = FenwickTree(10)
+        for i in range(10):
+            tree.add(i, 1)
+        assert tree.range_sum(2, 5) == 4
+        assert tree.range_sum(0, 9) == 10
+        assert tree.range_sum(5, 4) == 0
+
+    def test_suffix_sum(self):
+        tree = FenwickTree(6)
+        for i in range(6):
+            tree.add(i, 2)
+        assert tree.suffix_sum(0) == 12
+        assert tree.suffix_sum(3) == 6
+        assert tree.suffix_sum(6 - 1) == 2
+
+    def test_negative_delta_decrements(self):
+        tree = FenwickTree(4)
+        tree.add(2, 3)
+        tree.add(2, -1)
+        assert tree.get(2) == 2
+
+    def test_out_of_range_raises(self):
+        tree = FenwickTree(4)
+        with pytest.raises(IndexError):
+            tree.add(4, 1)
+        with pytest.raises(IndexError):
+            tree.prefix_sum(4)
+
+    def test_select_finds_kth_unit(self):
+        tree = FenwickTree(5)
+        tree.add(1, 2)
+        tree.add(3, 1)
+        # Multiset is {1, 1, 3}.
+        assert tree.select(0) == 1
+        assert tree.select(1) == 1
+        assert tree.select(2) == 3
+        with pytest.raises(IndexError):
+            tree.select(3)
+
+    def test_grow_preserves_contents(self):
+        tree = FenwickTree(3)
+        tree.add(0, 1)
+        tree.add(2, 4)
+        tree.grow(10)
+        assert len(tree) == 10
+        assert tree.to_list() == [1, 0, 4, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_grow_cannot_shrink(self):
+        tree = FenwickTree(5)
+        with pytest.raises(ConfigurationError):
+            tree.grow(4)
+
+    def test_grow_same_size_is_noop(self):
+        tree = FenwickTree(5)
+        tree.add(1, 1)
+        tree.grow(5)
+        assert tree.get(1) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=64),
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=63), st.integers(-3, 5)),
+        max_size=60,
+    ),
+)
+def test_matches_naive_array(size, ops):
+    """Prefix sums always agree with a plain list under random updates."""
+    tree = FenwickTree(size)
+    naive = [0] * size
+    for index, delta in ops:
+        index %= size
+        tree.add(index, delta)
+        naive[index] += delta
+    for i in range(size):
+        assert tree.prefix_sum(i) == sum(naive[: i + 1])
+    assert tree.total == sum(naive)
+    assert tree.to_list() == naive
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    counts=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=40)
+)
+def test_select_matches_naive_multiset(counts):
+    """select(k) agrees with expanding the multiset and indexing it."""
+    tree = FenwickTree(len(counts))
+    expanded = []
+    for index, count in enumerate(counts):
+        if count:
+            tree.add(index, count)
+        expanded.extend([index] * count)
+    for k, expected in enumerate(expanded):
+        assert tree.select(k) == expected

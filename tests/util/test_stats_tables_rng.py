@@ -1,0 +1,193 @@
+"""Tests for streaming stats, table rendering, RNG and validation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.util.rng import derive_seed, make_rng, spawn_seeds
+from repro.util.stats import Histogram, RunningStats
+from repro.util.tables import format_bar_chart, format_grid, format_table
+from repro.util.validation import (
+    check_fraction,
+    check_in,
+    check_int,
+    check_non_negative,
+    check_positive,
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+        assert s.min is None and s.max is None
+
+    def test_basic_moments(self):
+        s = RunningStats()
+        s.extend([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.variance == pytest.approx(1.25)
+        assert s.min == 1.0 and s.max == 4.0
+        assert s.total == pytest.approx(10.0)
+
+    def test_single_value_has_zero_variance(self):
+        s = RunningStats()
+        s.add(7.0)
+        assert s.variance == 0.0
+        assert s.stddev == 0.0
+
+    def test_as_dict_nan_for_empty(self):
+        d = RunningStats().as_dict()
+        assert math.isnan(d["min"]) and math.isnan(d["max"])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.lists(st.floats(-1e3, 1e3), max_size=30),
+        b=st.lists(st.floats(-1e3, 1e3), max_size=30),
+    )
+    def test_merge_equals_concatenation(self, a, b):
+        left, right, both = RunningStats(), RunningStats(), RunningStats()
+        left.extend(a)
+        right.extend(b)
+        both.extend(a + b)
+        merged = left.merge(right)
+        assert merged.count == both.count
+        assert merged.mean == pytest.approx(both.mean, abs=1e-6)
+        assert merged.variance == pytest.approx(both.variance, abs=1e-5)
+        assert merged.min == both.min and merged.max == both.max
+
+
+class TestHistogram:
+    def test_geometric_buckets(self):
+        h = Histogram()
+        for value in [0, 1, 2, 3, 4, 7, 8]:
+            h.add(value)
+        assert h.total == 7
+        assert h.counts[0] == 1  # value 0
+        assert h.counts[1] == 1  # value 1
+        assert h.counts[2] == 2  # values 2-3
+        assert h.counts[3] == 2  # values 4-7
+        assert h.counts[4] == 1  # values 8-15
+
+    def test_bucket_bounds(self):
+        h = Histogram()
+        assert h.bucket_bounds(0) == (0, 0)
+        assert h.bucket_bounds(1) == (1, 1)
+        assert h.bucket_bounds(3) == (4, 7)
+
+    def test_overflow(self):
+        h = Histogram(num_buckets=3)
+        h.add(100)
+        assert h.overflow == 1
+
+    def test_linear_mode(self):
+        h = Histogram(num_buckets=5, geometric=False)
+        h.add(2, weight=3)
+        assert h.counts[2] == 3
+        assert h.bucket_bounds(2) == (2, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().add(-1)
+
+    def test_nonzero_listing(self):
+        h = Histogram()
+        h.add(4)
+        assert h.nonzero() == [((4, 7), 1)]
+
+
+class TestTables:
+    def test_basic_table(self):
+        text = format_table(["name", "x"], [["a", 1.5], ["bb", 2.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in text and "2.250" in text
+
+    def test_title_and_none(self):
+        text = format_table(["a"], [[None]], title="T")
+        assert text.splitlines()[0] == "T"
+        assert "-" in text
+
+    def test_numeric_right_aligned(self):
+        text = format_table(["v"], [[1], [100]])
+        body = text.splitlines()[2:]
+        assert body[0].endswith("  1") or body[0].strip() == "1"
+        assert body[1].strip() == "100"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_grid(self):
+        text = format_grid(["r1"], ["c1", "c2"], [[1.0, 2.0]], corner="m")
+        assert "r1" in text and "c1" in text and "2.000" in text
+
+    def test_grid_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            format_grid(["r1", "r2"], ["c"], [[1.0]])
+
+    def test_bar_chart(self):
+        text = format_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert 0 < lines[0].count("#") <= 6
+
+    def test_bar_chart_all_zero(self):
+        text = format_bar_chart(["a"], [0.0])
+        assert "#" not in text
+
+    def test_bar_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        assert make_rng(42).integers(0, 1000) == make_rng(42).integers(0, 1000)
+
+    def test_derive_seed_depends_on_labels(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        # Similar label paths must not collide.
+        assert derive_seed(1, "a", 11) != derive_seed(1, "a1", 1)
+
+    def test_spawn_seeds_unique(self):
+        seeds = spawn_seeds(7, 16, "clients")
+        assert len(set(seeds)) == 16
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1) == 1
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -1)
+
+    def test_check_fraction(self):
+        assert check_fraction("x", 0.5) == 0.5
+        with pytest.raises(ConfigurationError):
+            check_fraction("x", 1.5)
+
+    def test_check_in(self):
+        assert check_in("x", "a", ["a", "b"]) == "a"
+        with pytest.raises(ConfigurationError):
+            check_in("x", "c", ["a", "b"])
+
+    def test_check_int(self):
+        assert check_int("x", 3) == 3
+        with pytest.raises(ConfigurationError):
+            check_int("x", True)
+        with pytest.raises(ConfigurationError):
+            check_int("x", 3.0)

@@ -1,0 +1,82 @@
+"""Tests: the pattern classifier recovers every generator's class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    PATTERNS,
+    Trace,
+    classify_pattern,
+    looping_trace,
+    make_large_workload,
+    make_small_workload,
+    pattern_features,
+    random_trace,
+    sequential_trace,
+    temporal_trace,
+    zipf_trace,
+)
+
+
+class TestClassifier:
+    @pytest.mark.parametrize(
+        "factory,expected",
+        [
+            (lambda: looping_trace(200, 8000, jitter=0.01, seed=1), "looping"),
+            (lambda: temporal_trace(400, 12000, mean_depth=25, seed=2),
+             "temporal"),
+            (lambda: zipf_trace(500, 12000, alpha=1.0, seed=3), "zipf"),
+            (lambda: random_trace(300, 9000, seed=4), "random"),
+            (lambda: sequential_trace(9000, 9000), "sequential"),
+        ],
+        ids=["looping", "temporal", "zipf", "random", "sequential"],
+    )
+    def test_primitives_recovered(self, factory, expected):
+        assert classify_pattern(factory()).label == expected
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("cs", "looping"),
+            ("glimpse", "looping"),
+            ("sprite", "temporal"),
+            ("zipf", "zipf"),
+            ("random", "random"),
+            ("multi", "mixed"),
+        ],
+    )
+    def test_section2_workloads_recovered(self, name, expected):
+        trace = make_small_workload(name, scale=0.3)
+        assert classify_pattern(trace).label == expected
+
+    def test_tpcc1_is_loop_dominated(self):
+        trace = make_large_workload("tpcc1", scale=1 / 64, num_refs=20000)
+        assert classify_pattern(trace).label in ("looping", "mixed")
+
+    def test_labels_are_known(self):
+        for factory in [lambda: zipf_trace(100, 2000, seed=1)]:
+            assert classify_pattern(factory()).label in PATTERNS
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_pattern(Trace([]))
+
+    def test_no_reuse_features(self):
+        features = pattern_features(Trace([1, 2, 3]))
+        assert features["reuse_fraction"] == 0.0
+        assert features["distance_cv"] == 0.0
+
+    def test_features_keys(self):
+        features = pattern_features(zipf_trace(100, 2000, seed=2))
+        assert set(features) == {
+            "reuse_fraction",
+            "distance_cv",
+            "median_ratio",
+            "popularity_skew",
+        }
+
+    def test_verdict_str(self):
+        verdict = classify_pattern(zipf_trace(100, 2000, seed=2))
+        assert verdict.label in str(verdict)

@@ -1,0 +1,83 @@
+"""Tests for the locality-filtering tool."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.policies import LRUPolicy
+from repro.workloads import (
+    Trace,
+    filter_through_cache,
+    filtering_report,
+    temporal_trace,
+)
+
+
+class TestFilterThroughCache:
+    def test_only_misses_pass(self):
+        trace = Trace([1, 1, 2, 1, 2, 3])
+        filtered = filter_through_cache(trace, capacity=2)
+        # Hits (the 2nd "1", the 2nd "2", the "1" while cached) removed.
+        assert list(filtered.blocks) == [1, 2, 3]
+
+    def test_capacity_one(self):
+        trace = Trace([1, 1, 2, 2, 1])
+        filtered = filter_through_cache(trace, capacity=1)
+        assert list(filtered.blocks) == [1, 2, 1]
+
+    def test_per_client_filters(self):
+        trace = Trace([5, 5, 5, 5], clients=[0, 1, 0, 1])
+        filtered = filter_through_cache(trace, capacity=4, per_client=True)
+        # Each client misses its own first access to block 5.
+        assert len(filtered) == 2
+        assert set(filtered.clients.tolist()) == {0, 1}
+
+    def test_shared_filter(self):
+        trace = Trace([5, 5, 5, 5], clients=[0, 1, 0, 1])
+        filtered = filter_through_cache(trace, capacity=4, per_client=False)
+        assert len(filtered) == 1
+
+    def test_other_policy(self):
+        trace = Trace([1, 2, 1, 2] * 10)
+        filtered = filter_through_cache(trace, capacity=1, policy="fifo")
+        assert len(filtered) > 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            filter_through_cache(Trace([1]), capacity=0)
+
+    def test_metadata(self):
+        trace = temporal_trace(50, 500, seed=1, name="t")
+        filtered = filter_through_cache(trace, 10)
+        assert "miss" in filtered.info.name
+        assert filtered.info.pattern.startswith("filtered-")
+
+    @settings(max_examples=40, deadline=None)
+    @given(blocks=st.lists(st.integers(0, 10), max_size=120),
+           capacity=st.integers(1, 8))
+    def test_property_matches_direct_lru(self, blocks, capacity):
+        """The filtered stream is exactly the LRU miss sequence."""
+        trace = Trace(blocks)
+        filtered = filter_through_cache(trace, capacity)
+        policy = LRUPolicy(capacity)
+        expected = [b for b in blocks if not policy.access(b).hit]
+        assert list(filtered.blocks) == expected
+
+
+class TestFilteringReport:
+    def test_weakened_locality(self):
+        """The paper's 'first challenge': filtering stretches reuse
+        distances and lowers the reuse fraction."""
+        trace = temporal_trace(400, 20000, mean_depth=30, seed=2)
+        report = filtering_report(trace, 100)
+        assert report["pass_fraction"] < 0.5
+        assert report["mean_distance_after"] > report["mean_distance_before"]
+        assert report["reuse_fraction_after"] <= report["reuse_fraction_before"]
+
+    def test_keys_present(self):
+        report = filtering_report(Trace([1, 2, 1]), 1)
+        for key in ["original_refs", "filtered_refs", "pass_fraction"]:
+            assert key in report

@@ -1,0 +1,194 @@
+"""Tests that the synthetic generators exhibit their claimed patterns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    describe,
+    interleaved_trace,
+    looping_trace,
+    lru_hit_rate_curve,
+    make_large_workload,
+    make_multi_workload,
+    make_small_workload,
+    phased_trace,
+    random_trace,
+    sequential_trace,
+    sharing_fraction,
+    temporal_trace,
+    zipf_trace,
+)
+from repro.workloads.multiclient import db2_like, httpd_like, openmail_like
+
+
+class TestPrimitiveGenerators:
+    def test_random_uniform(self):
+        trace = random_trace(100, 20000, seed=1)
+        counts = np.bincount(trace.blocks, minlength=100)
+        # Uniform: each block ~200 refs; allow generous tolerance.
+        assert counts.min() > 120 and counts.max() < 300
+
+    def test_random_deterministic(self):
+        a = random_trace(50, 100, seed=9).blocks
+        b = random_trace(50, 100, seed=9).blocks
+        assert np.array_equal(a, b)
+
+    def test_zipf_head_concentration(self):
+        trace = zipf_trace(1000, 30000, alpha=1.0, seed=2)
+        counts = np.bincount(trace.blocks, minlength=1000)
+        top10 = counts[:10].sum() / counts.sum()
+        # With alpha=1 over 1000 blocks, the top-10 share is ~39%.
+        assert 0.3 < top10 < 0.5
+        # Rank ordering holds in aggregate: first block most popular.
+        assert counts[0] == counts.max()
+
+    def test_zipf_shuffle_decorrelates_rank(self):
+        trace = zipf_trace(1000, 30000, alpha=1.0, seed=2, shuffle_ranks=True)
+        counts = np.bincount(trace.blocks, minlength=1000)
+        # Same concentration, but the hottest block is rarely id 0.
+        assert counts.max() / counts.sum() > 0.05
+        assert counts[:10].sum() / counts.sum() < 0.3
+
+    def test_sequential(self):
+        trace = sequential_trace(5, 12)
+        assert list(trace.blocks) == [0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1]
+
+    def test_looping_period(self):
+        trace = looping_trace(7, 21)
+        assert list(trace.blocks[:7]) == list(trace.blocks[7:14])
+
+    def test_looping_jitter(self):
+        clean = looping_trace(100, 5000, jitter=0.0)
+        noisy = looping_trace(100, 5000, jitter=0.3, seed=3)
+        diffs = (clean.blocks != noisy.blocks).mean()
+        assert 0.15 < diffs < 0.45  # ~30% jittered (some land on same block)
+
+    def test_temporal_is_lru_friendly(self):
+        trace = temporal_trace(400, 20000, mean_depth=20, seed=4)
+        curve = lru_hit_rate_curve(trace, [40, 400])
+        # Small cache already captures most reuse => recency-friendly.
+        assert curve[40] > 0.6
+        assert curve[400] >= curve[40]
+
+    def test_temporal_universe_exhaustion(self):
+        trace = temporal_trace(10, 500, mean_depth=50, seed=5)
+        assert trace.num_unique_blocks <= 10
+
+    def test_phased_concatenates(self):
+        a = sequential_trace(3, 3)
+        b = sequential_trace(2, 2, base_block=10)
+        trace = phased_trace([a, b], name="p")
+        assert list(trace.blocks) == [0, 1, 2, 10, 11]
+        assert trace.info.name == "p"
+
+    def test_phased_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            phased_trace([])
+
+    def test_interleaved_mixes_components(self):
+        loop = looping_trace(10, 1000)
+        zipf = zipf_trace(10, 1000, base_block=100, seed=6)
+        trace = interleaved_trace([loop, zipf], weights=[0.5, 0.5], seed=7)
+        assert len(trace) == 2000
+        from_loop = (trace.blocks < 100).mean()
+        assert 0.4 < from_loop < 0.6
+
+    def test_interleaved_validation(self):
+        with pytest.raises(ConfigurationError):
+            interleaved_trace([])
+        with pytest.raises(ConfigurationError):
+            interleaved_trace([sequential_trace(2, 2)], weights=[0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            interleaved_trace([sequential_trace(2, 2)], weights=[0.0])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            random_trace(0, 10)
+        with pytest.raises(ConfigurationError):
+            zipf_trace(10, 10, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            looping_trace(10, 10, jitter=2.0)
+
+
+class TestSmallWorkloads:
+    @pytest.mark.parametrize(
+        "name", ["cs", "glimpse", "sprite", "zipf", "random", "multi"]
+    )
+    def test_buildable_and_deterministic(self, name):
+        a = make_small_workload(name, scale=0.05)
+        b = make_small_workload(name, scale=0.05)
+        assert len(a) > 0
+        assert np.array_equal(a.blocks, b.blocks)
+        assert a.info.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_small_workload("nope")
+
+    def test_cs_is_looping(self):
+        trace = make_small_workload("cs", scale=0.1)
+        # Looping: reuse exists but almost no reuse at small cache sizes.
+        curve = lru_hit_rate_curve(trace, [10, trace.num_unique_blocks + 1])
+        assert curve[10] < 0.05
+        assert curve[trace.num_unique_blocks + 1] > 0.9
+
+    def test_sprite_is_lru_friendly(self):
+        trace = make_small_workload("sprite", scale=0.1)
+        tenth = max(1, trace.num_unique_blocks // 10)
+        curve = lru_hit_rate_curve(trace, [tenth])
+        assert curve[tenth] > 0.4
+
+
+class TestLargeWorkloads:
+    @pytest.mark.parametrize(
+        "name", ["random", "zipf", "httpd", "dev1", "tpcc1"]
+    )
+    def test_buildable(self, name):
+        trace = make_large_workload(name, scale=1 / 256, num_refs=5000)
+        assert len(trace) > 0
+        assert trace.num_clients == 1
+        assert trace.info.name == name or name in trace.info.name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_large_workload("nope")
+
+    def test_tpcc1_loop_dominated(self):
+        trace = make_large_workload("tpcc1", scale=1 / 128, num_refs=20000)
+        stats = describe(trace)
+        # Scans dominate: mean reuse distance is a large fraction of the set.
+        assert stats.mean_reuse_distance > trace.num_unique_blocks * 0.3
+
+
+class TestMultiClientWorkloads:
+    def test_httpd_seven_clients_share_data(self):
+        trace = httpd_like(scale=1 / 128, num_refs=20000)
+        assert trace.num_clients == 7
+        assert sharing_fraction(trace) > 0.3  # shared document set
+
+    def test_openmail_mostly_partitioned(self):
+        trace = openmail_like(scale=1 / 512, num_refs=20000)
+        assert trace.num_clients == 6
+        assert sharing_fraction(trace) < 0.3  # partitioned mailboxes
+
+    def test_db2_partitioned_loops(self):
+        trace = db2_like(scale=1 / 512, num_refs=20000)
+        assert trace.num_clients == 8
+        # Per-client streams are loop-dominated.
+        stream = trace.client_stream(0).aggregate()
+        stats = describe(stream)
+        assert stats.reuse_fraction > 0.3
+
+    def test_make_multi_workload(self):
+        trace = make_multi_workload("httpd", scale=1 / 256, num_refs=2000)
+        assert len(trace) > 0
+        with pytest.raises(ConfigurationError):
+            make_multi_workload("nope")
+
+    def test_deterministic(self):
+        a = db2_like(scale=1 / 512, num_refs=5000).blocks
+        b = db2_like(scale=1 / 512, num_refs=5000).blocks
+        assert np.array_equal(a, b)

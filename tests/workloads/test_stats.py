@@ -1,0 +1,98 @@
+"""Tests for trace statistics (reuse distances, hit-rate curves, sharing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies import LRUPolicy
+from repro.workloads import (
+    Trace,
+    describe,
+    lru_hit_rate_curve,
+    reuse_distances,
+    sharing_fraction,
+    working_set_sizes,
+)
+
+
+class TestReuseDistances:
+    def test_no_reuse(self):
+        assert len(reuse_distances(Trace([1, 2, 3]))) == 0
+
+    def test_immediate_reuse_distance_zero(self):
+        distances = reuse_distances(Trace([1, 1]))
+        assert list(distances) == [0]
+
+    def test_classic_example(self):
+        # 1 2 3 1: distance of the final 1 is 2 (blocks 2, 3 in between).
+        distances = reuse_distances(Trace([1, 2, 3, 1]))
+        assert list(distances) == [2]
+
+    def test_duplicate_intermediate_counts_once(self):
+        # 1 2 2 1: only one distinct block between the 1s.
+        distances = reuse_distances(Trace([1, 2, 2, 1]))
+        assert list(distances) == [0, 1]
+
+    @settings(max_examples=60, deadline=None)
+    @given(blocks=st.lists(st.integers(0, 8), max_size=80))
+    def test_matches_naive_stack_simulation(self, blocks):
+        """Fenwick-based distances equal a naive LRU-stack simulation."""
+        naive = []
+        stack = []
+        for block in blocks:
+            if block in stack:
+                naive.append(stack.index(block))
+                stack.remove(block)
+            stack.insert(0, block)
+        assert list(reuse_distances(Trace(blocks))) == naive
+
+
+class TestHitRateCurve:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        blocks=st.lists(st.integers(0, 10), max_size=100),
+        size=st.integers(1, 12),
+    )
+    def test_matches_lru_policy(self, blocks, size):
+        """The stack-distance curve equals actually running LRUPolicy."""
+        if not blocks:
+            return
+        policy = LRUPolicy(size)
+        hits = sum(policy.access(b).hit for b in blocks)
+        curve = lru_hit_rate_curve(Trace(blocks), [size])
+        assert curve[size] == pytest.approx(hits / len(blocks))
+
+    def test_monotone_in_size(self):
+        trace = Trace(np.random.default_rng(0).integers(0, 50, 2000))
+        curve = lru_hit_rate_curve(trace, [5, 10, 20, 40])
+        values = [curve[s] for s in [5, 10, 20, 40]]
+        assert values == sorted(values)
+
+    def test_empty_trace(self):
+        assert lru_hit_rate_curve(Trace([]), [4]) == {4: 0.0}
+
+
+class TestSharingAndDescribe:
+    def test_sharing_fraction(self):
+        trace = Trace([1, 1, 2], clients=[0, 1, 0])
+        # Block 1 shared by clients 0 and 1; block 2 only client 0.
+        assert sharing_fraction(trace) == pytest.approx(0.5)
+
+    def test_sharing_empty(self):
+        assert sharing_fraction(Trace([])) == 0.0
+
+    def test_describe(self):
+        stats = describe(Trace([1, 2, 1, 2], clients=[0, 0, 1, 1]))
+        assert stats.num_refs == 4
+        assert stats.num_unique_blocks == 2
+        assert stats.num_clients == 2
+        assert stats.reuse_fraction == 0.5
+        assert stats.sharing_fraction == 1.0
+        assert stats.mean_reuse_distance == 1.0
+
+    def test_working_set_sizes(self):
+        trace = Trace([1, 1, 2, 3, 3, 3])
+        assert list(working_set_sizes(trace, 3)) == [2, 1]

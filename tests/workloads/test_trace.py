@@ -1,0 +1,155 @@
+"""Tests for the Trace container and trace IO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.util.rng import make_rng
+from repro.workloads import (
+    Request,
+    Trace,
+    TraceInfo,
+    load_npz,
+    load_text,
+    save_npz,
+    save_text,
+)
+
+
+class TestTrace:
+    def test_empty(self):
+        trace = Trace([])
+        assert len(trace) == 0
+        assert trace.num_unique_blocks == 0
+        assert trace.num_clients == 1
+
+    def test_single_client_default(self):
+        trace = Trace([1, 2, 3])
+        assert list(trace) == [Request(0, 1), Request(0, 2), Request(0, 3)]
+        assert trace.num_clients == 1
+
+    def test_indexing(self):
+        trace = Trace([5, 6], clients=[1, 0])
+        assert trace[0] == Request(1, 5)
+        assert trace[1] == Request(0, 6)
+
+    def test_num_clients(self):
+        trace = Trace([1, 2, 3], clients=[0, 2, 1])
+        assert trace.num_clients == 3
+
+    def test_unique_blocks(self):
+        trace = Trace([1, 1, 2, 3, 3])
+        assert trace.num_unique_blocks == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trace([1, 2], clients=[0])
+
+    def test_2d_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trace(np.zeros((2, 2), dtype=np.int64))
+
+    def test_columns_read_only(self):
+        trace = Trace([1, 2])
+        with pytest.raises(ValueError):
+            trace.blocks[0] = 9
+
+    def test_aggregate_collapses_clients(self):
+        trace = Trace([1, 2, 3], clients=[0, 1, 2], info=TraceInfo(name="m"))
+        flat = trace.aggregate()
+        assert flat.num_clients == 1
+        assert list(flat.blocks) == [1, 2, 3]  # order preserved
+        assert flat.info.name == "m-aggregated"
+
+    def test_split_warmup(self):
+        trace = Trace(list(range(10)))
+        warm, measured = trace.split_warmup(0.3)
+        assert list(warm.blocks) == [0, 1, 2]
+        assert list(measured.blocks) == [3, 4, 5, 6, 7, 8, 9]
+
+    def test_split_warmup_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            Trace([1]).split_warmup(1.5)
+
+    def test_client_stream(self):
+        trace = Trace([1, 2, 3, 4], clients=[0, 1, 0, 1])
+        stream = trace.client_stream(1)
+        assert list(stream.blocks) == [2, 4]
+        assert list(stream.clients) == [1, 1]
+
+    def test_concat(self):
+        a = Trace([1, 2], clients=[0, 0])
+        b = Trace([3], clients=[1])
+        joined = Trace.concat([a, b])
+        assert list(joined.blocks) == [1, 2, 3]
+        assert list(joined.clients) == [0, 0, 1]
+
+    def test_concat_empty(self):
+        assert len(Trace.concat([])) == 0
+
+    def test_interleave_preserves_stream_order(self):
+        streams = [np.array([1, 2, 3]), np.array([10, 20])]
+        trace = Trace.interleave(streams, make_rng(0))
+        assert len(trace) == 5
+        for client, stream in enumerate(streams):
+            mine = trace.blocks[trace.clients == client]
+            assert list(mine) == list(stream)
+
+    def test_repr(self):
+        trace = Trace([1, 1, 2], info=TraceInfo(name="t"))
+        assert "t" in repr(trace) and "refs=3" in repr(trace)
+
+
+class TestIO:
+    def test_npz_roundtrip(self, tmp_path):
+        trace = Trace(
+            [1, 2, 1],
+            clients=[0, 1, 0],
+            info=TraceInfo(name="rt", pattern="zipf", seed=4),
+        )
+        path = tmp_path / "trace.npz"
+        save_npz(trace, path)
+        loaded = load_npz(path)
+        assert list(loaded.blocks) == [1, 2, 1]
+        assert list(loaded.clients) == [0, 1, 0]
+        assert loaded.info.name == "rt"
+        assert loaded.info.pattern == "zipf"
+        assert loaded.info.seed == 4
+
+    def test_npz_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_npz(tmp_path / "nope.npz")
+
+    def test_text_roundtrip(self, tmp_path):
+        trace = Trace([7, 8], clients=[0, 3], info=TraceInfo(name="tt"))
+        path = tmp_path / "trace.txt"
+        save_text(trace, path)
+        loaded = load_text(path)
+        assert list(loaded.blocks) == [7, 8]
+        assert list(loaded.clients) == [0, 3]
+        assert loaded.info.name == "tt"
+
+    def test_text_single_column(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("5\n6\n\n# comment\n7\n")
+        loaded = load_text(path)
+        assert list(loaded.blocks) == [5, 6, 7]
+        assert loaded.num_clients == 1
+
+    def test_text_bad_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3 4\n")
+        with pytest.raises(TraceFormatError):
+            load_text(path)
+
+    def test_text_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(TraceFormatError):
+            load_text(path)
+
+    def test_text_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_text(tmp_path / "nope.txt")
