@@ -1,0 +1,84 @@
+"""Parallel executor benchmark: serial vs ``jobs=4`` on one spec batch.
+
+The batch is a Figure-7-shaped sweep (many independent (scheme, size)
+points over one workload), the case the executor is built for. The trace
+is materialized up front so both timings measure simulation fan-out, not
+trace generation, and on fork-based platforms the workers inherit the
+parent's memoized copy.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments import resolve_scale
+from repro.runner import (
+    CostSpec,
+    RunSpec,
+    WorkloadSpec,
+    materialize_trace,
+    run_specs,
+)
+from repro.sim import paper_two_level
+
+
+def _sweep_specs(scale) -> list:
+    workload = WorkloadSpec(
+        "multi",
+        "httpd",
+        {
+            "scale": scale.geometry * 4.0,
+            "num_refs": scale.references(300_000),
+        },
+    )
+    costs = CostSpec.from_model(paper_two_level())
+    client_blocks = max(16, int(round(1024 * scale.geometry * 4.0)))
+    specs = []
+    for name in ("indlru", "unilru", "mq", "ulc"):
+        for factor in (1, 2, 4, 8):
+            specs.append(
+                RunSpec(
+                    scheme=name,
+                    capacities=(client_blocks, client_blocks * factor),
+                    workload=workload,
+                    num_clients=7,
+                    costs=costs,
+                )
+            )
+    return specs
+
+
+def bench_parallel_speedup(benchmark, scale):
+    resolved = resolve_scale(scale)
+    specs = _sweep_specs(resolved)
+    materialize_trace(specs[0].workload)
+
+    started = time.perf_counter()
+    serial = run_specs(specs, jobs=1)
+    serial_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = benchmark.pedantic(
+        run_specs, args=(specs,), kwargs={"jobs": 4}, rounds=1, iterations=1
+    )
+    parallel_wall = time.perf_counter() - started
+
+    assert [r.comparable() for r in serial] == [
+        r.comparable() for r in parallel
+    ]
+    throughput = [r.extras["refs_per_s"] for r in parallel]
+    assert all(rate > 0 for rate in throughput)
+
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
+    print()
+    print(
+        f"serial {serial_wall:.2f}s, jobs=4 {parallel_wall:.2f}s, "
+        f"speedup {speedup:.2f}x, per-run refs/s "
+        f"{min(throughput):,.0f}..{max(throughput):,.0f}"
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup at jobs=4, got {speedup:.2f}x "
+            f"(serial {serial_wall:.2f}s, parallel {parallel_wall:.2f}s)"
+        )

@@ -2,10 +2,15 @@
 
 This is the script behind EXPERIMENTS.md::
 
-    python scripts/run_paper_scale.py [--scale paper] [--out results/]
+    python scripts/run_paper_scale.py [--scale paper] [--out results/] \\
+        [--jobs 0] [--cache-dir results/.runcache]
 
 Each experiment's rendered tables land in ``<out>/<experiment>.txt`` and
 a combined ``report.txt``; Figure 6/7 raw results are saved as JSON.
+
+``--jobs`` fans the individual simulation runs across worker processes
+(0 = all cores); ``--cache-dir`` persists per-run results keyed by spec
+hash, so an interrupted paper-scale campaign resumes where it stopped.
 """
 
 from __future__ import annotations
@@ -29,6 +34,14 @@ def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--scale", default="paper")
     parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (unset/1 serial, 0 = all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk result cache; reruns skip completed runs",
+    )
     args = parser.parse_args()
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -53,7 +66,7 @@ def main() -> int:
 
     log("figure 6 ...")
     t0 = time.time()
-    figure6 = run_figure6(args.scale)
+    figure6 = run_figure6(args.scale, jobs=args.jobs, cache_dir=args.cache_dir)
     text = figure6.render()
     (out / "figure6.txt").write_text(text + "\n")
     sections.append(text)
@@ -73,7 +86,7 @@ def main() -> int:
 
     log("figure 7 ...")
     t0 = time.time()
-    figure7 = run_figure7(args.scale)
+    figure7 = run_figure7(args.scale, jobs=args.jobs, cache_dir=args.cache_dir)
     text = figure7.render()
     (out / "figure7.txt").write_text(text + "\n")
     sections.append(text)
@@ -95,7 +108,9 @@ def main() -> int:
 
     log("ablations ...")
     t0 = time.time()
-    for ablation in run_all_ablations(args.scale):
+    for ablation in run_all_ablations(
+        args.scale, jobs=args.jobs, cache_dir=args.cache_dir
+    ):
         text = ablation.render()
         sections.append(text)
     (out / "ablations.txt").write_text(

@@ -12,6 +12,8 @@ The package provides:
   indLRU, uniLRU (+ multi-client DEMOTE variants), client-LRU/server-MQ,
   ULC, aggregate-size oracles.
 - :mod:`repro.sim` — the trace-driven engine, cost model and metrics.
+- :mod:`repro.runner` — declarative :class:`~repro.runner.RunSpec` runs,
+  a multi-process executor and a content-addressed result cache.
 - :mod:`repro.workloads` — deterministic workload generators standing in
   for the paper's traces.
 - :mod:`repro.analysis` — the Section-2 ordered-list measure analysis.
@@ -49,6 +51,14 @@ from repro.hierarchy import (
     make_scheme,
 )
 from repro.policies import ReplacementPolicy, make_policy
+from repro.runner import (
+    CostSpec,
+    ResultCache,
+    RunSpec,
+    SchemeSpec,
+    WorkloadSpec,
+    run_specs,
+)
 from repro.sim import (
     CostModel,
     RunResult,
@@ -91,6 +101,12 @@ __all__ = [
     "paper_two_level",
     "run_simulation",
     "RunResult",
+    "RunSpec",
+    "WorkloadSpec",
+    "CostSpec",
+    "SchemeSpec",
+    "ResultCache",
+    "run_specs",
     "Trace",
     "zipf_trace",
     "random_trace",

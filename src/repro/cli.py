@@ -12,11 +12,20 @@ Usage::
     python -m repro workloads [--scale ...] [--workloads small large multi]
     python -m repro all      [--scale ...]
 
+    # generic driver: run any of the above in parallel with a result cache
+    python -m repro experiment figure7 --scale bench --jobs 4 \\
+        --cache-dir ~/.cache/ulc-repro
+    python -m repro experiment all --jobs 0   # 0 = all cores
+
     # free-form simulation of one scheme over one trace
     python -m repro simulate --scheme ulc --levels 800 800 800 \\
         --workload zipf --refs 200000
     python -m repro simulate --scheme unilru --levels 64 448 \\
-        --trace my_trace.txt --clients 4
+        --trace my_trace.txt --clients 4 --jobs 1 --cache-dir .runcache
+
+``figure6``, ``figure7``, ``ablations``, ``all`` and ``simulate`` accept
+``--jobs N`` (simulation fan-out over N worker processes; 0 = all cores)
+and ``--cache-dir DIR`` (skip any run whose spec hash is already cached).
 """
 
 from __future__ import annotations
@@ -38,7 +47,12 @@ from repro.experiments import (
 )
 
 EXPERIMENTS = ("figure2", "figure3", "table1", "figure6", "figure7",
-               "ablations", "all", "workloads", "simulate", "classify")
+               "ablations", "all", "workloads", "simulate", "classify",
+               "experiment")
+
+#: Experiments the generic ``experiment`` command can target.
+EXPERIMENT_TARGETS = ("figure2", "figure3", "table1", "figure6", "figure7",
+                      "ablations", "all", "workloads")
 
 
 def _run_classify(args: argparse.Namespace) -> str:
@@ -138,7 +152,13 @@ def _stat_row(stats) -> List[object]:
     ]
 
 
-def _run_experiment(name: str, scale: str, workloads: Optional[List[str]]) -> str:
+def _run_experiment(
+    name: str,
+    scale: str,
+    workloads: Optional[List[str]],
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> str:
     if name == "workloads":
         return _describe_workloads(scale, workloads)
     if name in ("figure2", "figure3", "table1"):
@@ -149,45 +169,60 @@ def _run_experiment(name: str, scale: str, workloads: Optional[List[str]]) -> st
             return result.render_figure3()
         return result.render_table1()
     if name == "figure6":
-        return run_figure6(scale, workloads or FIGURE6_WORKLOADS).render()
+        return run_figure6(
+            scale, workloads or FIGURE6_WORKLOADS,
+            jobs=jobs, cache_dir=cache_dir,
+        ).render()
     if name == "figure7":
-        return run_figure7(scale, workloads or FIGURE7_WORKLOADS).render()
+        return run_figure7(
+            scale, workloads or FIGURE7_WORKLOADS,
+            jobs=jobs, cache_dir=cache_dir,
+        ).render()
     if name == "ablations":
-        return "\n\n".join(a.render() for a in run_all_ablations(scale))
+        return "\n\n".join(
+            a.render()
+            for a in run_all_ablations(scale, jobs=jobs, cache_dir=cache_dir)
+        )
     if name == "all":
         parts = []
         for sub in ("figure2", "figure3", "table1", "figure6", "figure7",
                     "ablations"):
-            parts.append(_run_experiment(sub, scale, None))
+            parts.append(_run_experiment(sub, scale, None, jobs, cache_dir))
         return "\n\n".join(parts)
     raise UnknownExperimentError(
-        f"unknown experiment {name!r}; available: {EXPERIMENTS}"
+        f"unknown experiment {name!r}; available: {EXPERIMENT_TARGETS}"
     )
 
 
 def _run_simulate(args: argparse.Namespace) -> str:
-    """The ``simulate`` command: one scheme, one trace, full report."""
-    from repro.hierarchy import make_scheme
-    from repro.sim import (
-        custom,
-        paper_three_level,
-        paper_two_level,
-        run_simulation,
+    """The ``simulate`` command: one scheme, one trace, full report.
+
+    The run is expressed as a :class:`repro.runner.RunSpec`, so
+    ``--cache-dir`` makes repeated invocations with identical parameters
+    return instantly from the on-disk result cache.
+    """
+    from repro.runner import (
+        CostSpec,
+        RunSpec,
+        WorkloadSpec,
+        materialize_trace,
+        run_specs,
     )
+    from repro.sim import custom, paper_three_level, paper_two_level
     from repro.util.tables import format_table
-    from repro.workloads import load_npz, load_text, make_large_workload
 
     if args.trace is not None:
-        if str(args.trace).endswith(".npz"):
-            trace = load_npz(args.trace)
-        else:
-            trace = load_text(args.trace)
+        workload = WorkloadSpec("file", str(args.trace))
     else:
-        trace = make_large_workload(
-            args.workload, num_refs=args.refs
+        workload = WorkloadSpec(
+            "large", args.workload, {"num_refs": args.refs}
         )
-    num_clients = args.clients if args.clients else trace.num_clients
-    scheme = make_scheme(args.scheme, list(args.levels), num_clients)
+    if args.clients:
+        num_clients = args.clients
+    else:
+        # Materialized once here; the executor's per-process memo reuses
+        # this build for the simulation itself.
+        num_clients = materialize_trace(workload).num_clients
     if len(args.levels) == 3:
         costs = paper_three_level()
     elif len(args.levels) == 2:
@@ -198,10 +233,18 @@ def _run_simulate(args: argparse.Namespace) -> str:
             11.2,
             [1.0] * (len(args.levels) - 1),
         )
-    result = run_simulation(scheme, trace, costs, args.warmup)
+    spec = RunSpec(
+        scheme=args.scheme,
+        capacities=tuple(args.levels),
+        workload=workload,
+        costs=CostSpec.from_model(costs),
+        num_clients=num_clients,
+        warmup_fraction=args.warmup,
+    )
+    result = run_specs([spec], jobs=args.jobs, cache_dir=args.cache_dir)[0]
     rows = [
-        ["scheme", scheme.describe()],
-        ["workload", f"{trace.info.name} ({result.references} refs measured)"],
+        ["scheme", spec.build_scheme().describe()],
+        ["workload", f"{result.workload} ({result.references} refs measured)"],
         ["total hit rate", f"{result.total_hit_rate:.4f}"],
         ["miss rate", f"{result.miss_rate:.4f}"],
     ]
@@ -213,6 +256,10 @@ def _run_simulate(args: argparse.Namespace) -> str:
     rows.append(["  hit part", f"{result.t_hit_ms:.4f}"])
     rows.append(["  miss part", f"{result.t_miss_ms:.4f}"])
     rows.append(["  demotion part", f"{result.t_demotion_ms:.4f}"])
+    if "refs_per_s" in result.extras:
+        rows.append(
+            ["throughput (refs/s)", f"{result.extras['refs_per_s']:.0f}"]
+        )
     return format_table(["metric", "value"], rows, title="simulation result")
 
 
@@ -226,10 +273,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("experiment", choices=EXPERIMENTS)
     parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help=(
+            "for the 'experiment' command: which experiment to run "
+            f"(one of {', '.join(EXPERIMENT_TARGETS)}; default: all)"
+        ),
+    )
+    parser.add_argument(
         "--scale",
         default="bench",
         choices=["tiny", "bench", "paper"],
         help="experiment size preset (default: bench)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "simulation worker processes: unset/1 = serial, "
+            "0 = all cores, N = that many workers"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "content-addressed result cache directory: runs whose spec "
+            "hash is present are loaded instead of simulated"
+        ),
     )
     parser.add_argument(
         "--workloads",
@@ -297,8 +370,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.experiment == "classify":
             report = _run_classify(args)
         else:
+            name = args.experiment
+            if name == "experiment":
+                name = args.target or "all"
             report = _run_experiment(
-                args.experiment, args.scale, args.workloads
+                name, args.scale, args.workloads, args.jobs, args.cache_dir
             )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

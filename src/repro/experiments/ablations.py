@@ -16,20 +16,36 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 from repro.core.multi import NOTIFY_IMMEDIATE, NOTIFY_PIGGYBACK
 from repro.experiments.scaling import Scale, resolve_scale
-from repro.hierarchy import ULCMultiScheme, ULCScheme, UnifiedLRUScheme
-from repro.sim import (
-    CostModel,
-    RunResult,
-    custom,
-    paper_three_level,
-    run_simulation,
-)
+from repro.hierarchy import ULCScheme, UnifiedLRUScheme
+from repro.runner import CostSpec, RunSpec, WorkloadSpec, run_specs
+from repro.sim import custom, paper_three_level, run_simulation
 from repro.util.tables import format_table
 from repro.workloads import make_large_workload, make_multi_workload
+
+#: Shared signature note: ablations that simulate registry-addressable
+#: schemes accept ``jobs`` (worker processes; ``None``/1 serial, 0 all
+#: cores) and ``cache_dir`` (on-disk result cache) and batch their runs
+#: through :func:`repro.runner.run_specs`. Ablations that need live
+#: scheme state (reload counters, placement churn) or bespoke traces
+#: stay on the direct engine path.
+
+
+def _large_workload_spec(workload: str, scale: Scale) -> WorkloadSpec:
+    from repro.experiments.figure6 import BASELINE_REFS
+
+    return WorkloadSpec(
+        "large",
+        workload,
+        {
+            "scale": scale.geometry,
+            "num_refs": scale.references(BASELINE_REFS[workload]),
+        },
+    )
 
 
 @dataclass(frozen=True)
@@ -44,14 +60,11 @@ class AblationResult:
         return format_table(self.headers, self.rows, title=self.title)
 
 
-def _zero_demotion_costs() -> CostModel:
-    base = paper_three_level()
-    return custom(base.hit_times, base.miss_time, [0.0, 0.0])
-
-
 def run_demotion_vs_eviction(
     scale: Union[str, Scale] = "bench",
     workload: str = "tpcc1",
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> AblationResult:
     """E7: what demotion traffic costs, and what hiding it would buy.
 
@@ -60,24 +73,29 @@ def run_demotion_vs_eviction(
     case equals zero on-path demotion cost plus one disk reload per
     demotion pushed off the critical path.
     """
-    from repro.experiments.figure6 import BASELINE_REFS, cache_blocks
+    from repro.experiments.figure6 import cache_blocks
 
     scale = resolve_scale(scale)
-    trace = make_large_workload(
-        workload,
-        scale=scale.geometry,
-        num_refs=scale.references(BASELINE_REFS[workload]),
-    )
+    workload_spec = _large_workload_spec(workload, scale)
     capacity = cache_blocks(workload, scale)
-    on_path = paper_three_level()
-    off_path = _zero_demotion_costs()
+    on_path = CostSpec.from_model(paper_three_level())
 
+    names = ["uniLRU", "ULC"]
+    results = run_specs(
+        [
+            RunSpec(
+                scheme=registry_name,
+                capacities=(capacity,) * 3,
+                workload=workload_spec,
+                costs=on_path,
+            )
+            for registry_name in ("unilru", "ulc")
+        ],
+        jobs,
+        cache_dir,
+    )
     rows = []
-    for name, scheme_factory in [
-        ("uniLRU", lambda: UnifiedLRUScheme([capacity] * 3)),
-        ("ULC", lambda: ULCScheme([capacity] * 3)),
-    ]:
-        result = run_simulation(scheme_factory(), trace, on_path)
+    for name, result in zip(names, results):
         demotions_per_ref = sum(result.demotion_rates)
         rows.append(
             [
@@ -171,22 +189,32 @@ def run_templru_sweep(
     scale: Union[str, Scale] = "bench",
     workload: str = "zipf",
     sizes: Sequence[int] = (0, 1, 4, 16, 64),
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> AblationResult:
     """E8a: sensitivity of ULC to the tempLRU buffer size."""
-    from repro.experiments.figure6 import BASELINE_REFS, cache_blocks
+    from repro.experiments.figure6 import cache_blocks
 
     scale = resolve_scale(scale)
-    trace = make_large_workload(
-        workload,
-        scale=scale.geometry,
-        num_refs=scale.references(BASELINE_REFS[workload]),
-    )
+    workload_spec = _large_workload_spec(workload, scale)
     capacity = cache_blocks(workload, scale)
-    costs = paper_three_level()
+    costs = CostSpec.from_model(paper_three_level())
+    results = run_specs(
+        [
+            RunSpec(
+                scheme="ulc",
+                capacities=(capacity,) * 3,
+                scheme_kwargs={"templru_capacity": int(size)},
+                workload=workload_spec,
+                costs=costs,
+            )
+            for size in sizes
+        ],
+        jobs,
+        cache_dir,
+    )
     rows = []
-    for size in sizes:
-        scheme = ULCScheme([capacity] * 3, templru_capacity=int(size))
-        result = run_simulation(scheme, trace, costs)
+    for size, result in zip(sizes, results):
         rows.append(
             [
                 int(size),
@@ -206,6 +234,8 @@ def run_notification_modes(
     scale: Union[str, Scale] = "bench",
     workload: str = "db2",
     message_ms: float = 0.5,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> AblationResult:
     """E8b: delayed (piggybacked) vs immediate eviction notices."""
     scale = resolve_scale(scale)
@@ -217,22 +247,39 @@ def run_notification_modes(
     from repro.workloads import NUM_CLIENTS
 
     geometry = scale.geometry * EXTRA_GEOMETRY[workload]
-    trace = make_multi_workload(
+    workload_spec = WorkloadSpec(
+        "multi",
         workload,
-        scale=geometry,
-        num_refs=scale.references(BASELINE_REFS[workload]),
+        {
+            "scale": geometry,
+            "num_refs": scale.references(BASELINE_REFS[workload]),
+        },
     )
     clients = NUM_CLIENTS[workload]
     client_blocks = max(16, int(round(CLIENT_BLOCKS[workload] * geometry)))
     server_blocks = client_blocks * clients
-    costs = custom([0.0, 1.0], 11.2, [1.0], message_time=message_ms)
+    costs = CostSpec.from_model(
+        custom([0.0, 1.0], 11.2, [1.0], message_time=message_ms)
+    )
 
+    modes = [NOTIFY_PIGGYBACK, NOTIFY_IMMEDIATE]
+    results = run_specs(
+        [
+            RunSpec(
+                scheme="ulc",
+                capacities=(client_blocks, server_blocks),
+                num_clients=clients,
+                scheme_kwargs={"notify": mode},
+                workload=workload_spec,
+                costs=costs,
+            )
+            for mode in modes
+        ],
+        jobs,
+        cache_dir,
+    )
     rows = []
-    for mode in [NOTIFY_PIGGYBACK, NOTIFY_IMMEDIATE]:
-        scheme = ULCMultiScheme(
-            [client_blocks, server_blocks], clients, notify=mode
-        )
-        result = run_simulation(scheme, trace, costs)
+    for mode, result in zip(modes, results):
         messages = result.extras.get("control_messages", 0.0)
         rows.append(
             [
@@ -256,6 +303,8 @@ def run_metadata_trimming(
     scale: Union[str, Scale] = "bench",
     workload: str = "httpd",
     factors: Sequence[Optional[float]] = (None, 4.0, 2.0, 1.5, 1.0),
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> AblationResult:
     """E8c: bounding uniLRUstack metadata (Section 5 trimming).
 
@@ -263,22 +312,33 @@ def run_metadata_trimming(
     ``None`` is unbounded. The paper claims cold entries can be trimmed
     "without compromising the ULC locality distinction ability".
     """
-    from repro.experiments.figure6 import BASELINE_REFS, cache_blocks
+    from repro.experiments.figure6 import cache_blocks
 
     scale = resolve_scale(scale)
-    trace = make_large_workload(
-        workload,
-        scale=scale.geometry,
-        num_refs=scale.references(BASELINE_REFS[workload]),
-    )
+    workload_spec = _large_workload_spec(workload, scale)
     capacity = cache_blocks(workload, scale)
     aggregate = capacity * 3
-    costs = paper_three_level()
+    costs = CostSpec.from_model(paper_three_level())
+    results = run_specs(
+        [
+            RunSpec(
+                scheme="ulc",
+                capacities=(capacity,) * 3,
+                scheme_kwargs={
+                    "max_metadata": (
+                        None if factor is None else int(aggregate * factor)
+                    )
+                },
+                workload=workload_spec,
+                costs=costs,
+            )
+            for factor in factors
+        ],
+        jobs,
+        cache_dir,
+    )
     rows = []
-    for factor in factors:
-        max_metadata = None if factor is None else int(aggregate * factor)
-        scheme = ULCScheme([capacity] * 3, max_metadata=max_metadata)
-        result = run_simulation(scheme, trace, costs)
+    for factor, result in zip(factors, results):
         rows.append(
             [
                 "unbounded" if factor is None else f"{factor:g}x aggregate",
@@ -297,6 +357,8 @@ def run_metadata_trimming(
 def run_level_ratio_sweep(
     scale: Union[str, Scale] = "bench",
     workload: str = "zipf",
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> AblationResult:
     """E10: sensitivity to the distribution of one cache budget over levels.
 
@@ -308,47 +370,44 @@ def run_level_ratio_sweep(
     its shape, while indLRU's usefulness collapses when the capacity
     sits low in the hierarchy.
     """
-    from repro.experiments.figure6 import BASELINE_REFS, cache_blocks
+    from repro.experiments.figure6 import cache_blocks
 
     scale = resolve_scale(scale)
-    trace = make_large_workload(
-        workload,
-        scale=scale.geometry,
-        num_refs=scale.references(BASELINE_REFS[workload]),
-    )
+    workload_spec = _large_workload_spec(workload, scale)
     budget = cache_blocks(workload, scale) * 3
-    costs = paper_three_level()
+    costs = CostSpec.from_model(paper_three_level())
     shapes = {
         "client-heavy (4:1:1)": [4, 1, 1],
         "equal (1:1:1)": [1, 1, 1],
         "server-heavy (1:4:1)": [1, 4, 1],
         "array-heavy (1:1:4)": [1, 1, 4],
     }
-    rows: List[List[object]] = []
+    labels: List[str] = []
+    specs: List[RunSpec] = []
     for label, ratio in shapes.items():
         total = sum(ratio)
-        capacities = [max(8, budget * part // total) for part in ratio]
-        from repro.hierarchy import (
-            IndependentScheme,
-            ULCScheme,
-            UnifiedLRUScheme,
-        )
-
-        for scheme in (
-            IndependentScheme(capacities),
-            UnifiedLRUScheme(capacities),
-            ULCScheme(capacities),
-        ):
-            result = run_simulation(scheme, trace, costs)
-            rows.append(
-                [
-                    label,
-                    result.scheme,
-                    result.total_hit_rate,
-                    sum(result.demotion_rates),
-                    result.t_ave_ms,
-                ]
+        capacities = tuple(max(8, budget * part // total) for part in ratio)
+        for registry_name in ("indlru", "unilru", "ulc"):
+            labels.append(label)
+            specs.append(
+                RunSpec(
+                    scheme=registry_name,
+                    capacities=capacities,
+                    workload=workload_spec,
+                    costs=costs,
+                )
             )
+    rows: List[List[object]] = []
+    for label, result in zip(labels, run_specs(specs, jobs, cache_dir)):
+        rows.append(
+            [
+                label,
+                result.scheme,
+                result.total_hit_rate,
+                sum(result.demotion_rates),
+                result.t_ave_ms,
+            ]
+        )
     return AblationResult(
         title=(
             f"E10 [{workload}]: one cache budget ({budget} blocks) "
@@ -612,15 +671,25 @@ def run_congestion(
     )
 
 
-def run_all_ablations(scale: Union[str, Scale] = "bench") -> List[AblationResult]:
-    """Run every ablation at the given scale."""
+def run_all_ablations(
+    scale: Union[str, Scale] = "bench",
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> List[AblationResult]:
+    """Run every ablation at the given scale.
+
+    ``jobs`` / ``cache_dir`` apply to the ablations whose runs are
+    registry-addressable specs; the stateful ones (reload windows,
+    placement churn, skewed partitioning, congestion re-pricing,
+    locality filtering) always run in-process.
+    """
     return [
-        run_demotion_vs_eviction(scale),
+        run_demotion_vs_eviction(scale, jobs=jobs, cache_dir=cache_dir),
         run_reload_window(scale),
-        run_templru_sweep(scale),
-        run_notification_modes(scale),
-        run_metadata_trimming(scale),
-        run_level_ratio_sweep(scale),
+        run_templru_sweep(scale, jobs=jobs, cache_dir=cache_dir),
+        run_notification_modes(scale, jobs=jobs, cache_dir=cache_dir),
+        run_metadata_trimming(scale, jobs=jobs, cache_dir=cache_dir),
+        run_level_ratio_sweep(scale, jobs=jobs, cache_dir=cache_dir),
         run_partitioning(scale),
         run_locality_filtering(scale),
         run_placement_stability(scale),

@@ -12,7 +12,8 @@ Paper geometry: 100 MB per level (50 MB for tpcc1), 8 KB blocks, LAN
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Union
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.report import render_figure6
 from repro.errors import ConfigurationError
@@ -23,8 +24,8 @@ from repro.hierarchy import (
     ULCScheme,
     UnifiedLRUScheme,
 )
-from repro.sim import RunResult, paper_three_level, run_simulation
-from repro.workloads import make_large_workload
+from repro.runner import CostSpec, RunSpec, WorkloadSpec, run_specs
+from repro.sim import RunResult, paper_three_level
 
 #: Paper per-level cache sizes in 8 KB blocks: 100 MB (50 MB for tpcc1).
 CACHE_BLOCKS_100MB = 12800
@@ -45,6 +46,13 @@ SCHEMES: Dict[str, Callable[[List[int]], MultiLevelScheme]] = {
     "indLRU": lambda caps: IndependentScheme(caps),
     "uniLRU": lambda caps: UnifiedLRUScheme(caps),
     "ULC": lambda caps: ULCScheme(caps),
+}
+
+#: Registry names behind the figure's scheme labels (the runner path).
+SCHEME_NAMES: Dict[str, str] = {
+    "indLRU": "indlru",
+    "uniLRU": "unilru",
+    "ULC": "ulc",
 }
 
 
@@ -87,10 +95,18 @@ def run_figure6(
     scale: Union[str, Scale] = "bench",
     workloads: Sequence[str] = FIGURE6_WORKLOADS,
     schemes: Sequence[str] = tuple(SCHEMES),
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> Figure6Result:
-    """Run the Figure-6 grid and return all results."""
+    """Run the Figure-6 grid and return all results.
+
+    Every (scheme, workload) cell is a :class:`repro.runner.RunSpec`;
+    the grid fans out over ``jobs`` worker processes (``None``/1 serial,
+    0 all cores) and reuses ``cache_dir`` results where the spec is
+    unchanged.
+    """
     scale = resolve_scale(scale)
-    costs = paper_three_level()
+    costs = CostSpec.from_model(paper_three_level())
     for workload in workloads:
         if workload not in BASELINE_REFS:
             raise ConfigurationError(
@@ -102,15 +118,29 @@ def run_figure6(
             raise ConfigurationError(
                 f"unknown scheme {name!r}; available: {sorted(SCHEMES)}"
             )
-    results: Dict[str, List[RunResult]] = {name: [] for name in schemes}
+    cells: List[str] = []
+    specs: List[RunSpec] = []
     for workload in workloads:
-        trace = make_large_workload(
-            workload,
-            scale=scale.geometry,
-            num_refs=scale.references(BASELINE_REFS[workload]),
-        )
         capacity = cache_blocks(workload, scale)
+        workload_spec = WorkloadSpec(
+            "large",
+            workload,
+            {
+                "scale": scale.geometry,
+                "num_refs": scale.references(BASELINE_REFS[workload]),
+            },
+        )
         for name in schemes:
-            scheme = SCHEMES[name]([capacity] * 3)
-            results[name].append(run_simulation(scheme, trace, costs))
+            cells.append(name)
+            specs.append(
+                RunSpec(
+                    scheme=SCHEME_NAMES[name],
+                    capacities=(capacity,) * 3,
+                    workload=workload_spec,
+                    costs=costs,
+                )
+            )
+    results: Dict[str, List[RunResult]] = {name: [] for name in schemes}
+    for name, result in zip(cells, run_specs(specs, jobs, cache_dir)):
+        results[name].append(result)
     return Figure6Result(results=results, scale=scale.name)

@@ -12,24 +12,20 @@ Paper client cache sizes: 8 MB (httpd), 1 GB (openmail), 256 MB (db2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.report import render_sweep
 from repro.errors import ConfigurationError
 from repro.experiments.scaling import Scale, resolve_scale
-from repro.hierarchy import (
-    ClientLRUServerMQ,
-    IndependentScheme,
-    ULCMultiScheme,
-    UnifiedLRUMultiScheme,
-)
+from repro.runner import SchemeSpec, WorkloadSpec, materialize_trace
 from repro.sim import (
     SweepPoint,
     best_of,
     paper_two_level,
     sweep_server_size,
 )
-from repro.workloads import NUM_CLIENTS, make_multi_workload
+from repro.workloads import NUM_CLIENTS
 
 #: Paper client cache sizes in 8 KB blocks.
 CLIENT_BLOCKS = {
@@ -48,6 +44,18 @@ EXTRA_GEOMETRY = {"httpd": 4.0, "openmail": 1 / 8, "db2": 1 / 4}
 BASELINE_REFS = {"httpd": 300_000, "openmail": 240_000, "db2": 320_000}
 
 FIGURE7_WORKLOADS = ("httpd", "openmail", "db2")
+
+#: The swept schemes by registry name (the uniLRU insertion variants are
+#: collapsed pointwise into "uniLRU(best)" after the sweep, as the paper
+#: did).
+SCHEME_SPECS: Dict[str, SchemeSpec] = {
+    "indLRU": SchemeSpec("indlru"),
+    "uniLRU[mru]": SchemeSpec("unilru"),
+    "uniLRU[lru]": SchemeSpec("unilru-lru"),
+    "uniLRU[adaptive]": SchemeSpec("unilru-adaptive"),
+    "MQ": SchemeSpec("mq"),
+    "ULC": SchemeSpec("ulc"),
+}
 
 
 @dataclass(frozen=True)
@@ -98,8 +106,16 @@ def server_sizes(
 def run_figure7(
     scale: Union[str, Scale] = "bench",
     workloads: Sequence[str] = FIGURE7_WORKLOADS,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> Figure7Result:
-    """Run the Figure-7 sweeps and return all series."""
+    """Run the Figure-7 sweeps and return all series.
+
+    Every (scheme, server-size) point is an independent
+    :class:`repro.runner.RunSpec`, so the sweep parallelizes across
+    ``jobs`` worker processes (``None``/1 serial, 0 all cores) and skips
+    points already present in ``cache_dir``.
+    """
     scale = resolve_scale(scale)
     costs = paper_two_level()
     for workload in workloads:
@@ -115,11 +131,17 @@ def run_figure7(
         client_blocks = max(
             16, int(round(CLIENT_BLOCKS[workload] * geometry))
         )
-        trace = make_multi_workload(
+        workload_spec = WorkloadSpec(
+            "multi",
             workload,
-            scale=geometry,
-            num_refs=scale.references(BASELINE_REFS[workload]),
+            {
+                "scale": geometry,
+                "num_refs": scale.references(BASELINE_REFS[workload]),
+            },
         )
+        # Materialized here only to size the sweep; the runner's
+        # per-process memo shares this build with the execution path.
+        trace = materialize_trace(workload_spec)
         sizes = server_sizes(
             client_blocks,
             clients,
@@ -127,22 +149,15 @@ def run_figure7(
             universe=trace.num_unique_blocks,
         )
 
-        builders = {
-            "indLRU": lambda caps, n=clients: IndependentScheme(caps, n),
-            "uniLRU[mru]": lambda caps, n=clients: UnifiedLRUMultiScheme(
-                caps, n, insertion="mru"
-            ),
-            "uniLRU[lru]": lambda caps, n=clients: UnifiedLRUMultiScheme(
-                caps, n, insertion="lru"
-            ),
-            "uniLRU[adaptive]": lambda caps, n=clients: UnifiedLRUMultiScheme(
-                caps, n, insertion="adaptive"
-            ),
-            "MQ": lambda caps, n=clients: ClientLRUServerMQ(caps, n),
-            "ULC": lambda caps, n=clients: ULCMultiScheme(caps, n),
-        }
         raw = sweep_server_size(
-            builders, trace, client_blocks, sizes, costs
+            SCHEME_SPECS,
+            workload_spec,
+            client_blocks,
+            sizes,
+            costs,
+            num_clients=clients,
+            jobs=jobs,
+            cache_dir=cache_dir,
         )
         # Collapse the uniLRU variants into the pointwise best, as the
         # paper did for its comparisons.

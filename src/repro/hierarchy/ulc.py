@@ -82,9 +82,14 @@ class ULCMultiLevelScheme(MultiLevelScheme):
 
 
 class ULCMultiScheme(MultiLevelScheme):
-    """Multi-client ULC: per-client engines over a shared gLRU server."""
+    """Multi-client ULC: per-client engines over a shared gLRU server.
 
-    name = "ULC"
+    Registered as ``ulc`` in the multi-client registry; the display name
+    is ``ULC-multi`` so its :attr:`RunResult.scheme` is distinguishable
+    from the single-client :class:`ULCScheme` (``ULC``).
+    """
+
+    name = "ULC-multi"
 
     def __init__(
         self,

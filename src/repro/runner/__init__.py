@@ -1,0 +1,57 @@
+"""Parallel run orchestration: declarative specs, a process-pool
+executor and a content-addressed result cache.
+
+The pieces:
+
+- :class:`RunSpec` / :class:`WorkloadSpec` / :class:`CostSpec` /
+  :class:`SchemeSpec` — frozen, JSON-serializable descriptions of a run
+  (:mod:`repro.runner.spec`);
+- :func:`run_specs` — fan a batch of specs across worker processes with
+  deterministic, input-ordered results (:mod:`repro.runner.executor`);
+- :class:`ResultCache` — on-disk JSON cache keyed by
+  :meth:`RunSpec.spec_hash`, so re-running a figure only simulates
+  changed points (:mod:`repro.runner.cache`).
+
+Quick example::
+
+    from repro.runner import CostSpec, RunSpec, WorkloadSpec, run_specs
+    from repro.sim import paper_two_level
+
+    spec = RunSpec(
+        scheme="ulc",
+        capacities=(64, 256),
+        workload=WorkloadSpec("large", "zipf", {"num_refs": 100_000}),
+        costs=CostSpec.from_model(paper_two_level()),
+    )
+    [result] = run_specs([spec], jobs=0, cache_dir=".ulc-cache")
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.executor import (
+    execute_spec,
+    materialize_trace,
+    resolve_jobs,
+    run_specs,
+)
+from repro.runner.spec import (
+    SPEC_VERSION,
+    CostSpec,
+    RunSpec,
+    SchemeSpec,
+    WorkloadSpec,
+    specs_for_sweep,
+)
+
+__all__ = [
+    "SPEC_VERSION",
+    "RunSpec",
+    "WorkloadSpec",
+    "CostSpec",
+    "SchemeSpec",
+    "specs_for_sweep",
+    "ResultCache",
+    "run_specs",
+    "execute_spec",
+    "materialize_trace",
+    "resolve_jobs",
+]

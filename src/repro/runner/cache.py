@@ -1,0 +1,80 @@
+"""On-disk, content-addressed result cache.
+
+Each cached entry is one JSON file named by the :meth:`RunSpec.spec_hash`
+of the run that produced it, sharded over two-character subdirectories
+(``<cache_dir>/ab/abcdef....json``). The file stores both the spec and
+the result, so entries are self-describing and auditable with any JSON
+tool; on read, the stored spec hash is cross-checked against the key to
+detect corruption or hand-edited files.
+
+Because the key covers every input of the run (scheme kwargs, workload
+seed, capacities, cost model, warm-up), a warm cache entry can be
+returned without constructing the scheme or trace at all — re-running a
+figure only simulates points whose spec changed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.runner.spec import RunSpec
+from repro.sim.results import RunResult
+
+
+class ResultCache:
+    """Maps :class:`RunSpec` hashes to stored :class:`RunResult` s."""
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.root = Path(cache_dir).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """The stored result for ``spec``, or ``None`` on a miss.
+
+        Unreadable or mismatched entries are treated as misses (the run
+        recomputes and overwrites them) rather than raised.
+        """
+        path = self._path(spec.spec_hash())
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if payload.get("spec") != spec.to_dict():
+            return None
+        try:
+            return RunResult.from_dict(payload["result"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, spec: RunSpec, result: RunResult) -> Path:
+        """Store ``result`` under ``spec``'s hash (atomic replace)."""
+        path = self._path(spec.spec_hash())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"spec": spec.to_dict(), "result": result.to_dict()}
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(payload, tmp, indent=1)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self.get(spec) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

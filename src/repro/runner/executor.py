@@ -1,0 +1,140 @@
+"""Executing batches of :class:`RunSpec` s, serially or across processes.
+
+:func:`run_specs` is the single entry point every driver (sweeps, figure
+runners, the CLI) funnels through:
+
+1. each spec is looked up in the result cache (if one is configured) —
+   warm entries skip scheme and trace construction entirely;
+2. the remaining specs fan out over a :class:`ProcessPoolExecutor`
+   (``jobs`` workers; ``jobs=1`` or a single pending spec runs inline);
+3. results are returned in input order, so parallel and serial execution
+   produce identically-ordered, identical results.
+
+Workers rebuild schemes and traces from the spec alone; traces are
+memoized per process (keyed by the workload recipe's content hash) so a
+sweep of N points over one workload generates the trace once per worker
+rather than N times.
+
+Every executed run records wall-clock metadata in ``RunResult.extras``
+under :data:`repro.sim.results.TIMING_EXTRAS` (``wall_time_s``,
+``refs_per_s``). Timing is measurement metadata, not simulation output —
+use :meth:`RunResult.comparable` when checking determinism.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.runner.cache import ResultCache
+from repro.runner.spec import RunSpec, WorkloadSpec
+from repro.sim.engine import run_simulation
+from repro.sim.results import RunResult
+from repro.workloads.base import Trace
+
+#: Traces memoized per process; small and bounded — traces can be large.
+_TRACE_CACHE: "OrderedDict[str, Trace]" = OrderedDict()
+_TRACE_CACHE_SLOTS = 8
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker count: ``None``/``1`` → serial, ``0`` → all cores."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def materialize_trace(workload: WorkloadSpec) -> Trace:
+    """Build (or reuse) the trace for a workload spec.
+
+    The per-process memo means drivers that need the trace up front
+    (e.g. to size a sweep from ``num_unique_blocks``) share the build
+    with the serial execution path — and, on fork-based platforms, with
+    the workers too.
+    """
+    key = workload.content_hash()
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = workload.build()
+        _TRACE_CACHE[key] = trace
+        while len(_TRACE_CACHE) > _TRACE_CACHE_SLOTS:
+            _TRACE_CACHE.popitem(last=False)
+    else:
+        _TRACE_CACHE.move_to_end(key)
+    return trace
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one spec to completion, stamping throughput metadata."""
+    trace = materialize_trace(spec.workload)
+    scheme = spec.build_scheme()
+    costs = spec.build_costs()
+    started = time.perf_counter()
+    result = run_simulation(
+        scheme, trace, costs, warmup_fraction=spec.warmup_fraction
+    )
+    wall = time.perf_counter() - started
+    extras = dict(result.extras)
+    extras["wall_time_s"] = wall
+    extras["refs_per_s"] = len(trace) / wall if wall > 0 else 0.0
+    return replace(result, extras=extras)
+
+
+def _execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry point: dicts in, dicts out (stable pickling)."""
+    return execute_spec(RunSpec.from_dict(payload)).to_dict()
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> List[RunResult]:
+    """Execute ``specs`` and return their results in input order.
+
+    Args:
+        specs: the runs to perform.
+        jobs: worker processes; ``None``/``1`` run inline in this
+            process, ``0`` uses every core, ``N`` uses N workers.
+        cache_dir: result-cache directory; cached specs are returned
+            without simulating, fresh results are stored back.
+    """
+    specs = list(specs)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        cached = cache.get(spec) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+        else:
+            pending.append(index)
+
+    workers = min(resolve_jobs(jobs), max(1, len(pending)))
+    if len(pending) <= 1 or workers <= 1:
+        for index in pending:
+            results[index] = execute_spec(specs[index])
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (index, pool.submit(_execute_payload, specs[index].to_dict()))
+                for index in pending
+            ]
+            for index, future in futures:
+                results[index] = RunResult.from_dict(future.result())
+
+    if cache is not None:
+        for index in pending:
+            cache.put(specs[index], results[index])  # type: ignore[arg-type]
+    return results  # type: ignore[return-value]

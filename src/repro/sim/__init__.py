@@ -20,6 +20,8 @@ from repro.sim.congestion import (
 from repro.sim.engine import DEFAULT_WARMUP, run_simulation, run_with_collector
 from repro.sim.metrics import MetricsCollector
 from repro.sim.results import (
+    TIMING_EXTRAS,
+    ClientStats,
     RunResult,
     load_results,
     save_results,
@@ -46,6 +48,8 @@ __all__ = [
     "DEFAULT_WARMUP",
     "MetricsCollector",
     "RunResult",
+    "ClientStats",
+    "TIMING_EXTRAS",
     "save_results",
     "save_results_csv",
     "load_results",

@@ -4,6 +4,14 @@ Feeds a :class:`~repro.workloads.base.Trace` through a
 :class:`~repro.hierarchy.base.MultiLevelScheme`, warming the hierarchy on
 a leading fraction of the trace (the paper uses the first tenth) and
 collecting metrics over the remainder.
+
+:func:`run_simulation` is the canonical entry point — it drives the
+trace and packages a :class:`~repro.sim.results.RunResult`.
+:func:`run_with_collector` exposes the raw
+:class:`~repro.sim.metrics.MetricsCollector` for tests and custom
+analyses. Both are thin wrappers over one internal drive loop
+(:func:`_drive`), so warm-up handling and iteration order cannot
+diverge between them.
 """
 
 from __future__ import annotations
@@ -13,12 +21,38 @@ from typing import Optional
 from repro.hierarchy.base import MultiLevelScheme
 from repro.sim.costs import CostModel
 from repro.sim.metrics import MetricsCollector
-from repro.sim.results import RunResult
+from repro.sim.results import ClientStats, RunResult
 from repro.util.validation import check_fraction
 from repro.workloads.base import Trace
 
 #: The paper's warm-up fraction ("the first one tenth of block references").
 DEFAULT_WARMUP = 0.1
+
+
+def _drive(
+    scheme: MultiLevelScheme,
+    trace: Trace,
+    warmup_fraction: float,
+    metrics: MetricsCollector,
+) -> int:
+    """Feed the whole trace through ``scheme``, recording post-warm-up
+    events into ``metrics``; returns the warm-up reference count.
+
+    The column arrays are converted to Python ints up front — one bulk
+    ``tolist`` instead of a NumPy scalar unboxing per reference, which
+    is the dominant per-reference overhead on this hot path.
+    """
+    check_fraction("warmup_fraction", warmup_fraction)
+    warmup_count = int(len(trace) * warmup_fraction)
+    clients = trace.clients.tolist()
+    blocks = trace.blocks.tolist()
+    access = scheme.access
+    record = metrics.record
+    for index in range(len(blocks)):
+        event = access(clients[index], blocks[index])
+        if index >= warmup_count:
+            record(event)
+    return warmup_count
 
 
 def run_simulation(
@@ -32,18 +66,8 @@ def run_simulation(
     The first ``warmup_fraction`` of references updates the caches but is
     excluded from every metric.
     """
-    check_fraction("warmup_fraction", warmup_fraction)
-    warmup_count = int(len(trace) * warmup_fraction)
     metrics = MetricsCollector(scheme.num_levels, scheme.num_clients)
-
-    clients = trace.clients
-    blocks = trace.blocks
-    access = scheme.access
-    record = metrics.record
-    for index in range(len(trace)):
-        event = access(int(clients[index]), int(blocks[index]))
-        if index >= warmup_count:
-            record(event)
+    warmup_count = _drive(scheme, trace, warmup_fraction, metrics)
 
     return RunResult(
         scheme=scheme.name,
@@ -66,7 +90,26 @@ def run_simulation(
         t_demotion_ms=metrics.demotion_time_component(costs)
         + metrics.message_time_component(costs),
         extras=_result_extras(metrics),
+        per_client=_per_client_stats(metrics),
     )
+
+
+def _per_client_stats(metrics: MetricsCollector) -> list:
+    if metrics.num_clients <= 1:
+        return []
+    stats = []
+    for client in range(metrics.num_clients):
+        refs = metrics.per_client_refs[client]
+        misses = metrics.per_client_misses[client]
+        stats.append(
+            ClientStats(
+                client=client,
+                refs=refs,
+                hit_rate=(refs - misses) / refs if refs else 0.0,
+                demotions=metrics.per_client_demotions[client],
+            )
+        )
+    return stats
 
 
 def _result_extras(metrics: MetricsCollector) -> dict:
@@ -76,6 +119,8 @@ def _result_extras(metrics: MetricsCollector) -> dict:
         "evictions": float(metrics.evictions),
     }
     if metrics.num_clients > 1:
+        # Deprecated: the stringly clientN_* keys duplicate the typed
+        # RunResult.per_client entries and are kept for one release.
         for client in range(metrics.num_clients):
             refs = metrics.per_client_refs[client]
             misses = metrics.per_client_misses[client]
@@ -96,14 +141,9 @@ def run_with_collector(
     collector: Optional[MetricsCollector] = None,
 ) -> MetricsCollector:
     """Lower-level entry point returning the raw collector (tests,
-    custom analyses)."""
-    check_fraction("warmup_fraction", warmup_fraction)
-    warmup_count = int(len(trace) * warmup_fraction)
+    custom analyses). Same drive loop as :func:`run_simulation`."""
     metrics = collector or MetricsCollector(
         scheme.num_levels, scheme.num_clients
     )
-    for index, request in enumerate(trace):
-        event = scheme.access(request.client, request.block)
-        if index >= warmup_count:
-            metrics.record(event)
+    _drive(scheme, trace, warmup_fraction, metrics)
     return metrics

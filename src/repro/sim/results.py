@@ -9,12 +9,32 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 
+#: ``extras`` keys holding wall-clock measurement metadata. They vary
+#: run to run even when the simulation output is bit-identical, so
+#: determinism checks go through :meth:`RunResult.comparable`, which
+#: strips them.
+TIMING_EXTRAS = frozenset({"wall_time_s", "refs_per_s"})
+
+
+@dataclass(frozen=True)
+class ClientStats:
+    """Per-client accounting for one multi-client run."""
+
+    client: int
+    refs: int
+    hit_rate: float
+    demotions: int
+
+
 @dataclass(frozen=True)
 class RunResult:
     """Outcome of one (scheme, workload, configuration) run.
 
     All rates are fractions of post-warm-up references; times are
-    milliseconds per reference.
+    milliseconds per reference. Multi-client runs carry one
+    :class:`ClientStats` per client in ``per_client`` (the stringly
+    ``extras["clientN_*"]`` keys are deprecated duplicates, kept for one
+    release).
     """
 
     scheme: str
@@ -31,6 +51,7 @@ class RunResult:
     t_miss_ms: float
     t_demotion_ms: float
     extras: Dict[str, float] = field(default_factory=dict)
+    per_client: List[ClientStats] = field(default_factory=list)
 
     @property
     def total_hit_rate(self) -> float:
@@ -47,8 +68,25 @@ class RunResult:
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
 
+    def comparable(self) -> Dict[str, object]:
+        """:meth:`to_dict` minus :data:`TIMING_EXTRAS` — everything the
+        simulation determines, nothing the wall clock does. Two runs of
+        the same spec (serial or parallel) compare equal on this."""
+        data = self.to_dict()
+        data["extras"] = {
+            key: value
+            for key, value in self.extras.items()
+            if key not in TIMING_EXTRAS
+        }
+        return data
+
     @staticmethod
     def from_dict(data: Dict[str, object]) -> "RunResult":
+        data = dict(data)
+        data["per_client"] = [
+            entry if isinstance(entry, ClientStats) else ClientStats(**entry)
+            for entry in data.get("per_client", [])  # type: ignore[union-attr]
+        ]
         return RunResult(**data)  # type: ignore[arg-type]
 
 

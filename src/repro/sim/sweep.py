@@ -2,12 +2,25 @@
 
 Figure 7 sweeps the server cache size for four schemes over three
 multi-client workloads; this module provides the generic machinery.
+
+Two execution paths:
+
+- **Spec path** (parallel, cacheable): pass the schemes as
+  :class:`repro.runner.SchemeSpec` values and the workload as a
+  :class:`repro.runner.WorkloadSpec`; every (scheme, size) point becomes
+  a :class:`repro.runner.RunSpec` and the batch fans out over
+  :func:`repro.runner.run_specs` honouring ``jobs`` / ``cache_dir``.
+- **Legacy path** (serial): pass scheme-builder callables and a live
+  :class:`~repro.workloads.base.Trace`, as before. Callables and live
+  traces cannot cross a process boundary or be content-hashed, so
+  ``jobs`` / ``cache_dir`` are ignored on this path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.hierarchy.base import MultiLevelScheme
 from repro.sim.costs import CostModel
@@ -27,29 +40,102 @@ class SweepPoint:
 
 
 def sweep_server_size(
-    builders: Dict[str, SchemeBuilder],
-    trace: Trace,
+    builders: Dict[str, object],
+    trace: object,
     client_capacity: int,
     server_sizes: Sequence[int],
     costs: CostModel,
     warmup_fraction: float = DEFAULT_WARMUP,
+    num_clients: int = 1,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, List[SweepPoint]]:
     """Run every scheme at every server size over ``trace``.
 
-    ``builders`` maps a scheme label to a function building a fresh
-    scheme from ``[client_capacity, server_size]`` (fresh state per
-    point — sweeps never reuse warm caches).
+    ``builders`` maps a scheme label to either a
+    :class:`repro.runner.SchemeSpec` (registry name + kwargs) or a
+    legacy callable building a fresh scheme from
+    ``[client_capacity, server_size]`` (fresh state per point — sweeps
+    never reuse warm caches). ``trace`` is correspondingly a
+    :class:`repro.runner.WorkloadSpec` or a live
+    :class:`~repro.workloads.base.Trace`.
+
+    With specs, ``jobs`` selects the worker-process count (``None``/1
+    serial, 0 all cores) and ``cache_dir`` an on-disk result cache;
+    parallel results are identical to serial ones.
 
     Returns ``{label: [SweepPoint, ...]}`` in ``server_sizes`` order.
     """
+    from repro.runner.spec import SchemeSpec, WorkloadSpec
+
+    all_specs = builders and all(
+        isinstance(builder, SchemeSpec) for builder in builders.values()
+    )
+    if all_specs and isinstance(trace, WorkloadSpec):
+        return _sweep_specs(
+            builders,  # type: ignore[arg-type]
+            trace,
+            client_capacity,
+            server_sizes,
+            costs,
+            warmup_fraction,
+            num_clients,
+            jobs,
+            cache_dir,
+        )
+    if not isinstance(trace, Trace):
+        raise TypeError(
+            "sweep_server_size needs a WorkloadSpec with SchemeSpec "
+            "builders, or a Trace; got "
+            f"{type(trace).__name__} with builder types "
+            f"{sorted({type(b).__name__ for b in builders.values()})}"
+        )
+
     out: Dict[str, List[SweepPoint]] = {label: [] for label in builders}
     for server_size in server_sizes:
         for label, builder in builders.items():
-            scheme = builder([client_capacity, int(server_size)])
+            if isinstance(builder, SchemeSpec):
+                scheme = builder.build(
+                    [client_capacity, int(server_size)], num_clients
+                )
+            else:
+                scheme = builder([client_capacity, int(server_size)])
             result = run_simulation(
                 scheme, trace, costs, warmup_fraction=warmup_fraction
             )
             out[label].append(SweepPoint(int(server_size), result))
+    return out
+
+
+def _sweep_specs(
+    builders: Dict[str, object],
+    workload: object,
+    client_capacity: int,
+    server_sizes: Sequence[int],
+    costs: CostModel,
+    warmup_fraction: float,
+    num_clients: int,
+    jobs: Optional[int],
+    cache_dir: Optional[Union[str, Path]],
+) -> Dict[str, List[SweepPoint]]:
+    from repro.runner.executor import run_specs
+    from repro.runner.spec import CostSpec, specs_for_sweep
+
+    rows = specs_for_sweep(
+        builders,  # type: ignore[arg-type]
+        workload,  # type: ignore[arg-type]
+        client_capacity,
+        server_sizes,
+        CostSpec.from_model(costs),
+        num_clients=num_clients,
+        warmup_fraction=warmup_fraction,
+    )
+    results = run_specs(
+        [spec for _, _, spec in rows], jobs=jobs, cache_dir=cache_dir
+    )
+    out: Dict[str, List[SweepPoint]] = {label: [] for label in builders}
+    for (label, size, _), result in zip(rows, results):
+        out[label].append(SweepPoint(size, result))
     return out
 
 

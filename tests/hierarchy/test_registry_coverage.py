@@ -36,6 +36,33 @@ def test_every_multi_client_scheme_builds_and_runs(name):
     assert result.num_clients == 3
 
 
+def test_display_names_unique_within_each_registry():
+    """No two registry entries may share a display name — RunResult rows
+    and figure labels would be indistinguishable otherwise (ULCScheme and
+    ULCMultiScheme both used to claim "ULC")."""
+    for multi_client in (False, True):
+        names = {}
+        for key in available_schemes(multi_client=multi_client):
+            if multi_client:
+                levels = [8, 16, 24] if key == "ulc-nlevel" else [8, 16]
+                scheme = make_scheme(key, levels, num_clients=3)
+            else:
+                levels = [8, 16] if key == "eviction-based" else [8, 16, 24]
+                scheme = make_scheme(key, levels)
+            assert scheme.name not in names, (
+                f"display name {scheme.name!r} claimed by both "
+                f"{names[scheme.name]!r} and {key!r}"
+            )
+            names[scheme.name] = key
+
+
+def test_single_and_multi_ulc_have_distinct_display_names():
+    single = make_scheme("ulc", [8, 16, 24])
+    multi = make_scheme("ulc", [8, 16], num_clients=2)
+    assert single.name == "ULC"
+    assert multi.name == "ULC-multi"
+
+
 def test_registries_expose_expected_names():
     single = set(available_schemes(multi_client=False))
     multi = set(available_schemes(multi_client=True))

@@ -1,0 +1,73 @@
+"""ResultCache: round trips, corruption tolerance, addressing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.runner import CostSpec, ResultCache, RunSpec, WorkloadSpec
+from repro.runner.executor import execute_spec
+from repro.sim import paper_three_level
+
+
+def spec(seed: int = 1) -> RunSpec:
+    return RunSpec(
+        scheme="ulc",
+        capacities=(12, 12, 12),
+        workload=WorkloadSpec(
+            "synthetic", "zipf",
+            {"num_blocks": 50, "num_refs": 1500, "seed": seed},
+        ),
+        costs=CostSpec.from_model(paper_three_level()),
+    )
+
+
+def test_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    run = spec()
+    assert cache.get(run) is None
+    assert run not in cache
+    result = execute_spec(run)
+    cache.put(run, result)
+    assert run in cache
+    assert len(cache) == 1
+    assert cache.get(run).to_dict() == result.to_dict()
+
+
+def test_entries_are_sharded_and_self_describing(tmp_path):
+    cache = ResultCache(tmp_path)
+    run = spec()
+    path = cache.put(run, execute_spec(run))
+    key = run.spec_hash()
+    assert path.parent.name == key[:2]
+    assert path.name == f"{key}.json"
+    payload = json.loads(path.read_text())
+    assert payload["spec"] == run.to_dict()
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    run = spec()
+    path = cache.put(run, execute_spec(run))
+    path.write_text("{not json")
+    assert cache.get(run) is None
+
+
+def test_spec_mismatch_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    run, other = spec(seed=1), spec(seed=2)
+    path = cache.put(run, execute_spec(run))
+    # A hand-moved file whose stored spec doesn't match the key is
+    # rejected rather than returned for the wrong run.
+    hijacked = ResultCache(tmp_path)._path(other.spec_hash())
+    hijacked.parent.mkdir(parents=True, exist_ok=True)
+    hijacked.write_text(path.read_text())
+    assert cache.get(other) is None
+
+
+def test_different_specs_do_not_collide(tmp_path):
+    cache = ResultCache(tmp_path)
+    first, second = spec(seed=1), spec(seed=2)
+    cache.put(first, execute_spec(first))
+    cache.put(second, execute_spec(second))
+    assert len(cache) == 2
+    assert cache.get(first).to_dict() != cache.get(second).to_dict()
