@@ -8,7 +8,7 @@ ratios (Figure 2) and per-boundary movement ratios (Figure 3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -19,7 +19,7 @@ from repro.core.measures import (
     recencies_at_access,
 )
 from repro.analysis.ordered_list import MeasureReport, OrderedListTracker
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.workloads.base import Trace
 
 #: The four measures of paper Table 1, in presentation order.
@@ -132,7 +132,10 @@ def analyze_measures(
 
         if "LLD-R" in trackers:
             tracker = trackers["LLD-R"]
-            assert internal_r is not None
+            if internal_r is None:
+                raise ProtocolError(
+                    "LLD-R tracking requires the internal R tracker"
+                )
             ranks = internal_r.ranks  # recency rank of accessed blocks
             values = np.where(
                 accessed, np.maximum(lld, ranks.astype(np.float64)), inf

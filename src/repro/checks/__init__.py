@@ -1,0 +1,44 @@
+"""Simulator-aware static analysis and runtime invariant checking.
+
+Two halves guard the properties the rest of the library silently relies
+on (bit-identical replay from a :class:`~repro.runner.spec.RunSpec`,
+honest registry contracts, per-level capacity discipline):
+
+- the **static half** (:mod:`repro.checks.engine`,
+  :mod:`repro.checks.rules`, :mod:`repro.checks.registry_checks`) is an
+  AST lint pass with simulator-specific rules, exposed as the
+  ``repro check`` CLI command;
+- the **dynamic half** (:mod:`repro.checks.invariants`) is
+  :class:`InvariantCheckedScheme`, a transparent wrapper that validates
+  scheme state every N references, wired through ``--check-invariants``.
+"""
+
+from __future__ import annotations
+
+from repro.checks.engine import (
+    CheckReport,
+    Finding,
+    all_rules,
+    format_findings,
+    run_checks,
+)
+from repro.checks.invariants import (
+    DEFAULT_CHECK_EVERY,
+    InvariantCheckedScheme,
+    validate_scheme,
+    validate_structure,
+)
+from repro.checks.registry_checks import check_registries
+
+__all__ = [
+    "CheckReport",
+    "DEFAULT_CHECK_EVERY",
+    "Finding",
+    "InvariantCheckedScheme",
+    "all_rules",
+    "check_registries",
+    "format_findings",
+    "run_checks",
+    "validate_scheme",
+    "validate_structure",
+]

@@ -1,0 +1,169 @@
+"""The ``repro check`` engine: discovery, suppression, reporting.
+
+Runs every AST rule (:mod:`repro.checks.rules`) over the requested
+files plus the registry-conformance pass
+(:mod:`repro.checks.registry_checks`), filters findings through
+``# repro: noqa RULE`` line suppressions, and renders the survivors as a
+human report or JSON.
+
+Exit-code contract (the CLI returns these):
+
+- ``0`` — no findings,
+- ``1`` — findings reported,
+- ``2`` — the check itself could not run (bad path, syntax error).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.checks.findings import Finding
+from repro.checks.rules import AST_RULES, FileContext, Rule, run_ast_rules
+from repro.errors import ConfigurationError
+
+#: ``# repro: noqa`` (all rules) or ``# repro: noqa DET001, SIM001``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b(?:[:\s]+(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?"
+)
+
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Per-line suppressions: ``None`` means every rule on that line."""
+    table: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = None
+        else:
+            table[lineno] = {code.strip() for code in rules.split(",")}
+    return table
+
+
+def _suppressed(
+    finding: Finding, table: Dict[int, Optional[Set[str]]]
+) -> bool:
+    if finding.line not in table:
+        return False
+    codes = table[finding.line]
+    return codes is None or finding.rule in codes
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one ``run_checks`` invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise ConfigurationError(f"no such file or directory: {raw}")
+    return out
+
+
+def check_file(
+    path: Union[str, Path], select: Iterable[str] = ()
+) -> Tuple[List[Finding], int]:
+    """Lint one file; returns (visible findings, suppressed count)."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise ConfigurationError(
+            f"cannot parse {path}: {exc.msg} (line {exc.lineno})"
+        ) from exc
+    ctx = FileContext(str(path), source, tree)
+    raw = run_ast_rules(ctx, select=select)
+    table = _suppressions(source)
+    visible = [f for f in raw if not _suppressed(f, table)]
+    return sorted(visible), len(raw) - len(visible)
+
+
+def run_checks(
+    paths: Sequence[Union[str, Path]],
+    select: Iterable[str] = (),
+    registry: bool = True,
+) -> CheckReport:
+    """Run the full static-analysis pass over ``paths``.
+
+    Args:
+        paths: files and/or directories to lint.
+        select: restrict to these rule codes (empty = all).
+        registry: also run the API001 registry-conformance pass (only
+            meaningful when linting the repro tree itself).
+    """
+    report = CheckReport()
+    wanted = set(select)
+    for path in iter_python_files(paths):
+        findings, suppressed = check_file(path, select=wanted)
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+        report.files_checked += 1
+    if registry and (not wanted or "API001" in wanted):
+        from repro.checks.registry_checks import check_registries
+
+        report.findings.extend(check_registries())
+    report.findings.sort()
+    return report
+
+
+def all_rules() -> List[Tuple[str, str, str]]:
+    """Every rule as ``(code, summary, rationale)`` for ``--list-rules``."""
+    from repro.checks.registry_checks import RegistryConformance
+
+    rules: List[Rule] = [cls() for cls in AST_RULES]
+    rules.append(RegistryConformance())
+    return [
+        (rule.code, rule.summary, (rule.__doc__ or "").strip())
+        for rule in rules
+    ]
+
+
+def format_findings(report: CheckReport, fmt: str = "human") -> str:
+    """Render a report as ``human`` text or ``json``."""
+    if fmt == "json":
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in report.findings],
+                "files_checked": report.files_checked,
+                "suppressed": report.suppressed,
+                "exit_code": report.exit_code,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    if fmt != "human":
+        raise ConfigurationError(
+            f"unknown check output format {fmt!r}; use 'human' or 'json'"
+        )
+    lines = [finding.format_human() for finding in report.findings]
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files_checked} "
+        f"file(s) ({report.suppressed} suppressed via noqa)"
+    )
+    if lines:
+        return "\n".join(lines) + "\n" + summary
+    return summary

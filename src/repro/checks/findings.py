@@ -1,0 +1,45 @@
+"""The finding model shared by every check.
+
+A :class:`Finding` is one rule violation at one source location. Findings
+sort by location so reports are stable regardless of rule execution
+order — important because ``repro check`` output is itself consumed by
+tests and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        path: file the violation is in (as given to the engine).
+        line: 1-based source line.
+        col: 0-based column.
+        rule: rule code (``"DET001"``, ...).
+        message: human-readable explanation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format_human(self) -> str:
+        """``path:line:col: RULE message`` (clickable in most terminals)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (the ``--format json`` output rows)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

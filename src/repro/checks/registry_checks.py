@@ -1,0 +1,162 @@
+"""API001 — registry conformance, checked against the *live* registries.
+
+Unlike the syntactic rules, this pass imports the policy and scheme
+registries and verifies the contracts the runner silently assumes:
+
+- every registered factory builds (with canonical tiny parameters),
+- the built object implements its abstract interface completely
+  (instantiation of an abstract class would raise, and we double-check
+  ``__abstractmethods__``),
+- the object's declared display name is non-default and unique within
+  its registry — duplicate names would make two different schemes'
+  :class:`~repro.sim.results.RunResult` rows indistinguishable.
+
+No trace is driven: this stays a cheap, deterministic import-time check
+(the behavioural half lives in ``tests/checks``).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, List, Optional
+
+from repro.checks.findings import Finding
+from repro.checks.rules import Rule
+from repro.errors import ReproError
+
+#: Canonical tiny construction parameters per registry.
+_POLICY_CAPACITY = 4
+_SINGLE_CAPACITIES = (4, 8)
+_MULTI_CAPACITIES = (4, 8)
+_MULTI_CLIENTS = 2
+
+
+class RegistryConformance(Rule):
+    """API001 — registered classes must honor their abstract contracts.
+
+    Every entry of the policy registry must build a concrete
+    :class:`~repro.policies.base.ReplacementPolicy`; every entry of the
+    scheme registries a concrete
+    :class:`~repro.hierarchy.base.MultiLevelScheme`; and display names
+    must be unique per registry so results stay attributable.
+    """
+
+    code = "API001"
+    summary = (
+        "registered policies/schemes must implement their interface and "
+        "declare unique display names"
+    )
+
+    def _finding(self, path: str, message: str) -> Finding:
+        return Finding(path=path, line=1, col=0, rule=self.code,
+                       message=message)
+
+
+def _module_path(module_name: str) -> str:
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, "__file__", module_name) or module_name
+
+
+def _check_instance(
+    rule: RegistryConformance,
+    path: str,
+    registry_label: str,
+    entry: str,
+    instance: object,
+    base: type,
+    names_seen: Dict[str, str],
+    findings: List[Finding],
+) -> None:
+    cls = type(instance)
+    if not isinstance(instance, base):
+        findings.append(rule._finding(
+            path,
+            f"{registry_label}[{entry!r}] built {cls.__name__}, which is "
+            f"not a {base.__name__}",
+        ))
+        return
+    if inspect.isabstract(cls) or getattr(cls, "__abstractmethods__", None):
+        missing = sorted(getattr(cls, "__abstractmethods__", ()))
+        findings.append(rule._finding(
+            path,
+            f"{registry_label}[{entry!r}] -> {cls.__name__} leaves "
+            f"abstract methods unimplemented: {missing}",
+        ))
+    name = getattr(instance, "name", None)
+    if not name or name == getattr(base, "name", None):
+        findings.append(rule._finding(
+            path,
+            f"{registry_label}[{entry!r}] -> {cls.__name__} does not "
+            f"declare a display name (still {name!r})",
+        ))
+        return
+    if name in names_seen:
+        findings.append(rule._finding(
+            path,
+            f"{registry_label}[{entry!r}] display name {name!r} collides "
+            f"with entry {names_seen[name]!r}",
+        ))
+    else:
+        names_seen[name] = entry
+
+
+def check_registries() -> List[Finding]:
+    """Run API001 over the policy and scheme registries."""
+    from repro.hierarchy.base import MultiLevelScheme
+    from repro.hierarchy.registry import registry_items as scheme_items
+    from repro.policies.base import ReplacementPolicy
+    from repro.policies.registry import registry_items as policy_items
+
+    rule = RegistryConformance()
+    findings: List[Finding] = []
+
+    policy_path = _module_path("repro.policies.registry")
+    names_seen: Dict[str, str] = {}
+    for entry, factory in policy_items().items():
+        instance = _try_build(
+            rule, policy_path, "policies", entry, findings,
+            factory, _POLICY_CAPACITY,
+        )
+        if instance is not None:
+            _check_instance(rule, policy_path, "policies", entry, instance,
+                            ReplacementPolicy, names_seen, findings)
+
+    scheme_path = _module_path("repro.hierarchy.registry")
+    for label, items, capacities, clients in (
+        ("schemes(single)", scheme_items(multi_client=False),
+         _SINGLE_CAPACITIES, 1),
+        ("schemes(multi)", scheme_items(multi_client=True),
+         _MULTI_CAPACITIES, _MULTI_CLIENTS),
+    ):
+        names_seen = {}
+        for entry, factory in items.items():
+            instance = _try_build(
+                rule, scheme_path, label, entry, findings,
+                factory, list(capacities), clients,
+            )
+            if instance is not None:
+                _check_instance(rule, scheme_path, label, entry, instance,
+                                MultiLevelScheme, names_seen, findings)
+    return findings
+
+
+def _try_build(
+    rule: RegistryConformance,
+    path: str,
+    registry_label: str,
+    entry: str,
+    findings: List[Finding],
+    factory: Callable[..., object],
+    *args: object,
+) -> Optional[object]:
+    try:
+        return factory(*args)
+    except ReproError as exc:
+        findings.append(rule._finding(
+            path,
+            f"{registry_label}[{entry!r}] failed to build with canonical "
+            f"parameters {args!r}: {exc}",
+        ))
+        return None

@@ -23,17 +23,26 @@ Usage::
     python -m repro simulate --scheme unilru --levels 64 448 \\
         --trace my_trace.txt --clients 4 --jobs 1 --cache-dir .runcache
 
+    # simulator-aware static analysis (lint) over the source tree
+    python -m repro check [PATH ...defaults to the installed package]
+    python -m repro check src/repro --format json
+    python -m repro check --list-rules
+
 ``figure6``, ``figure7``, ``ablations``, ``all`` and ``simulate`` accept
 ``--jobs N`` (simulation fan-out over N worker processes; 0 = all cores)
 and ``--cache-dir DIR`` (skip any run whose spec hash is already cached).
+They also accept ``--check-invariants [N]``: every executed run then
+validates its scheme's structural invariants each N references (default
+1000) via :class:`repro.checks.InvariantCheckedScheme` — results are
+bit-identical with or without the flag.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Callable, Dict, List, Optional, Sequence
+import time  # repro: noqa DET001 -- wall-clock reporting of CLI duration, not simulation state
+from typing import List, Optional, Sequence
 
 from repro.errors import ReproError, UnknownExperimentError
 from repro.experiments import (
@@ -48,11 +57,43 @@ from repro.experiments import (
 
 EXPERIMENTS = ("figure2", "figure3", "table1", "figure6", "figure7",
                "ablations", "all", "workloads", "simulate", "classify",
-               "experiment")
+               "experiment", "check")
 
 #: Experiments the generic ``experiment`` command can target.
 EXPERIMENT_TARGETS = ("figure2", "figure3", "table1", "figure6", "figure7",
                       "ablations", "all", "workloads")
+
+
+def _run_check(args: argparse.Namespace) -> int:
+    """The ``check`` command: simulator-aware static analysis.
+
+    Prints the report and returns the engine's exit code directly
+    (0 clean, 1 findings, 2 engine error).
+    """
+    from pathlib import Path
+
+    from repro.checks import all_rules, format_findings, run_checks
+
+    if args.list_rules:
+        from repro.util.tables import format_table
+
+        rows = []
+        for code, summary, rationale in all_rules():
+            first = rationale.splitlines()[0] if rationale else summary
+            rows.append([code, summary, first])
+        print(format_table(
+            ["rule", "summary", "rationale"], rows,
+            title="repro check rules",
+        ))
+        return 0
+    if args.target is not None:
+        paths = [args.target]
+    else:
+        # Default to the installed package's own source tree.
+        paths = [str(Path(__file__).resolve().parent)]
+    report = run_checks(paths, select=tuple(args.select or ()))
+    print(format_findings(report, args.format))
+    return report.exit_code
 
 
 def _run_classify(args: argparse.Namespace) -> str:
@@ -158,6 +199,7 @@ def _run_experiment(
     workloads: Optional[List[str]],
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    check_invariants: Optional[int] = None,
 ) -> str:
     if name == "workloads":
         return _describe_workloads(scale, workloads)
@@ -172,22 +214,29 @@ def _run_experiment(
         return run_figure6(
             scale, workloads or FIGURE6_WORKLOADS,
             jobs=jobs, cache_dir=cache_dir,
+            check_invariants=check_invariants,
         ).render()
     if name == "figure7":
         return run_figure7(
             scale, workloads or FIGURE7_WORKLOADS,
             jobs=jobs, cache_dir=cache_dir,
+            check_invariants=check_invariants,
         ).render()
     if name == "ablations":
         return "\n\n".join(
             a.render()
-            for a in run_all_ablations(scale, jobs=jobs, cache_dir=cache_dir)
+            for a in run_all_ablations(
+                scale, jobs=jobs, cache_dir=cache_dir,
+                check_invariants=check_invariants,
+            )
         )
     if name == "all":
         parts = []
         for sub in ("figure2", "figure3", "table1", "figure6", "figure7",
                     "ablations"):
-            parts.append(_run_experiment(sub, scale, None, jobs, cache_dir))
+            parts.append(_run_experiment(
+                sub, scale, None, jobs, cache_dir, check_invariants
+            ))
         return "\n\n".join(parts)
     raise UnknownExperimentError(
         f"unknown experiment {name!r}; available: {EXPERIMENT_TARGETS}"
@@ -241,7 +290,12 @@ def _run_simulate(args: argparse.Namespace) -> str:
         num_clients=num_clients,
         warmup_fraction=args.warmup,
     )
-    result = run_specs([spec], jobs=args.jobs, cache_dir=args.cache_dir)[0]
+    result = run_specs(
+        [spec],
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        check_invariants=args.check_invariants,
+    )[0]
     rows = [
         ["scheme", spec.build_scheme().describe()],
         ["workload", f"{result.workload} ({result.references} refs measured)"],
@@ -311,6 +365,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to these workloads (experiment-specific names)",
     )
     parser.add_argument(
+        "--check-invariants",
+        nargs="?",
+        const=1000,
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "validate each scheme's structural invariants every N "
+            "references while simulating (flag alone: N=1000); results "
+            "are unchanged, violations raise a ProtocolError"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="also write the report to this file",
@@ -357,6 +424,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.1,
         help="warm-up fraction (simulate; default 0.1)",
     )
+    check = parser.add_argument_group("check options")
+    check.add_argument(
+        "--format",
+        default="human",
+        choices=["human", "json"],
+        help="check report format (default: human)",
+    )
+    check.add_argument(
+        "--select",
+        nargs="*",
+        default=None,
+        metavar="RULE",
+        help="restrict the check to these rule codes (e.g. DET001)",
+    )
+    check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every check rule with its rationale and exit",
+    )
     return parser
 
 
@@ -365,6 +451,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     started = time.time()
     try:
+        if args.experiment == "check":
+            return _run_check(args)
         if args.experiment == "simulate":
             report = _run_simulate(args)
         elif args.experiment == "classify":
@@ -374,7 +462,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if name == "experiment":
                 name = args.target or "all"
             report = _run_experiment(
-                name, args.scale, args.workloads, args.jobs, args.cache_dir
+                name, args.scale, args.workloads, args.jobs, args.cache_dir,
+                args.check_invariants,
             )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

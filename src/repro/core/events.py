@@ -7,8 +7,8 @@ and leave all timing/cost interpretation to :mod:`repro.sim.costs`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.policies.base import Block
 

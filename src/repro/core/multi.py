@@ -26,8 +26,8 @@ Key mechanisms implemented here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.events import AccessEvent, Demotion
 from repro.core.stack import UniLRUStack

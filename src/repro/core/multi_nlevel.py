@@ -30,7 +30,7 @@ Generalisation rules (each reduces to the paper's design for n = 2):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.events import AccessEvent, Demotion
 from repro.core.multi import ULCServer, _Eviction

@@ -210,7 +210,10 @@ class UniLRUStack:
         ``new_level`` (the block's recency region at access time, per the
         LLD rule).
         """
-        assert node.global_node is not None
+        if node.global_node is None:
+            raise ProtocolError(
+                f"stack entry for {node.block!r} lost its global-list node"
+            )
         self._global.move_to_front(node.global_node)
         node.seq = self._next_seq()
         self._level_unlink(node)
@@ -308,7 +311,8 @@ class UniLRUStack:
         removed = 0
         while self._global:
             tail = self._global.tail
-            assert tail is not None
+            if tail is None:
+                raise ProtocolError("non-empty uniLRU stack has no tail")
             if tail.value.level != self.out_level:
                 break
             self.forget(tail.value)

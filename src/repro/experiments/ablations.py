@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
@@ -65,6 +66,7 @@ def run_demotion_vs_eviction(
     workload: str = "tpcc1",
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    check_invariants: Optional[int] = None,
 ) -> AblationResult:
     """E7: what demotion traffic costs, and what hiding it would buy.
 
@@ -93,6 +95,7 @@ def run_demotion_vs_eviction(
         ],
         jobs,
         cache_dir,
+        check_invariants=check_invariants,
     )
     rows = []
     for name, result in zip(names, results):
@@ -191,6 +194,7 @@ def run_templru_sweep(
     sizes: Sequence[int] = (0, 1, 4, 16, 64),
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    check_invariants: Optional[int] = None,
 ) -> AblationResult:
     """E8a: sensitivity of ULC to the tempLRU buffer size."""
     from repro.experiments.figure6 import cache_blocks
@@ -212,6 +216,7 @@ def run_templru_sweep(
         ],
         jobs,
         cache_dir,
+        check_invariants=check_invariants,
     )
     rows = []
     for size, result in zip(sizes, results):
@@ -236,6 +241,7 @@ def run_notification_modes(
     message_ms: float = 0.5,
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    check_invariants: Optional[int] = None,
 ) -> AblationResult:
     """E8b: delayed (piggybacked) vs immediate eviction notices."""
     scale = resolve_scale(scale)
@@ -277,6 +283,7 @@ def run_notification_modes(
         ],
         jobs,
         cache_dir,
+        check_invariants=check_invariants,
     )
     rows = []
     for mode, result in zip(modes, results):
@@ -305,6 +312,7 @@ def run_metadata_trimming(
     factors: Sequence[Optional[float]] = (None, 4.0, 2.0, 1.5, 1.0),
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    check_invariants: Optional[int] = None,
 ) -> AblationResult:
     """E8c: bounding uniLRUstack metadata (Section 5 trimming).
 
@@ -336,6 +344,7 @@ def run_metadata_trimming(
         ],
         jobs,
         cache_dir,
+        check_invariants=check_invariants,
     )
     rows = []
     for factor, result in zip(factors, results):
@@ -359,6 +368,7 @@ def run_level_ratio_sweep(
     workload: str = "zipf",
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    check_invariants: Optional[int] = None,
 ) -> AblationResult:
     """E10: sensitivity to the distribution of one cache budget over levels.
 
@@ -398,7 +408,10 @@ def run_level_ratio_sweep(
                 )
             )
     rows: List[List[object]] = []
-    for label, result in zip(labels, run_specs(specs, jobs, cache_dir)):
+    runs = run_specs(
+        specs, jobs, cache_dir, check_invariants=check_invariants
+    )
+    for label, result in zip(labels, runs):
         rows.append(
             [
                 label,
@@ -654,11 +667,8 @@ def run_congestion(
         ]
         for rate in rates:
             congested = congested_access_time(result, costs, rate)
-            row.append(
-                congested["t_ave_ms"]
-                if congested["t_ave_ms"] != float("inf")
-                else None
-            )
+            t_congested = congested["t_ave_ms"]
+            row.append(None if math.isinf(t_congested) else t_congested)
         rows.append(row)
     return AblationResult(
         title=(
@@ -675,21 +685,27 @@ def run_all_ablations(
     scale: Union[str, Scale] = "bench",
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    check_invariants: Optional[int] = None,
 ) -> List[AblationResult]:
     """Run every ablation at the given scale.
 
-    ``jobs`` / ``cache_dir`` apply to the ablations whose runs are
-    registry-addressable specs; the stateful ones (reload windows,
-    placement churn, skewed partitioning, congestion re-pricing,
-    locality filtering) always run in-process.
+    ``jobs`` / ``cache_dir`` / ``check_invariants`` apply to the
+    ablations whose runs are registry-addressable specs; the stateful
+    ones (reload windows, placement churn, skewed partitioning,
+    congestion re-pricing, locality filtering) always run in-process.
     """
+    spec_kwargs = {
+        "jobs": jobs,
+        "cache_dir": cache_dir,
+        "check_invariants": check_invariants,
+    }
     return [
-        run_demotion_vs_eviction(scale, jobs=jobs, cache_dir=cache_dir),
+        run_demotion_vs_eviction(scale, **spec_kwargs),
         run_reload_window(scale),
-        run_templru_sweep(scale, jobs=jobs, cache_dir=cache_dir),
-        run_notification_modes(scale, jobs=jobs, cache_dir=cache_dir),
-        run_metadata_trimming(scale, jobs=jobs, cache_dir=cache_dir),
-        run_level_ratio_sweep(scale, jobs=jobs, cache_dir=cache_dir),
+        run_templru_sweep(scale, **spec_kwargs),
+        run_notification_modes(scale, **spec_kwargs),
+        run_metadata_trimming(scale, **spec_kwargs),
+        run_level_ratio_sweep(scale, **spec_kwargs),
         run_partitioning(scale),
         run_locality_filtering(scale),
         run_placement_stability(scale),

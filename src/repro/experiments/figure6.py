@@ -97,13 +97,15 @@ def run_figure6(
     schemes: Sequence[str] = tuple(SCHEMES),
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    check_invariants: Optional[int] = None,
 ) -> Figure6Result:
     """Run the Figure-6 grid and return all results.
 
     Every (scheme, workload) cell is a :class:`repro.runner.RunSpec`;
     the grid fans out over ``jobs`` worker processes (``None``/1 serial,
     0 all cores) and reuses ``cache_dir`` results where the spec is
-    unchanged.
+    unchanged. ``check_invariants`` validates every scheme's structure
+    each N references while it runs (results are unchanged).
     """
     scale = resolve_scale(scale)
     costs = CostSpec.from_model(paper_three_level())
@@ -141,6 +143,9 @@ def run_figure6(
                 )
             )
     results: Dict[str, List[RunResult]] = {name: [] for name in schemes}
-    for name, result in zip(cells, run_specs(specs, jobs, cache_dir)):
+    runs = run_specs(
+        specs, jobs, cache_dir, check_invariants=check_invariants
+    )
+    for name, result in zip(cells, runs):
         results[name].append(result)
     return Figure6Result(results=results, scale=scale.name)

@@ -108,6 +108,7 @@ def run_figure7(
     workloads: Sequence[str] = FIGURE7_WORKLOADS,
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    check_invariants: Optional[int] = None,
 ) -> Figure7Result:
     """Run the Figure-7 sweeps and return all series.
 
@@ -158,6 +159,7 @@ def run_figure7(
             num_clients=clients,
             jobs=jobs,
             cache_dir=cache_dir,
+            check_invariants=check_invariants,
         )
         # Collapse the uniLRU variants into the pointwise best, as the
         # paper did for its comparisons.

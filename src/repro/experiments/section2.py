@@ -9,7 +9,7 @@ measure-comparison table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Union
+from typing import Dict, Sequence, Union
 
 from repro.analysis import (
     LocalityAnalysis,

@@ -10,7 +10,7 @@ indLRU, uniLRU, MQ, ULC and the oracles are interchangeable.
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.core.events import AccessEvent
 from repro.errors import ConfigurationError
@@ -60,3 +60,14 @@ class MultiLevelScheme(abc.ABC):
             raise ConfigurationError(
                 f"client {client} out of range [0, {self.num_clients})"
             )
+
+    def check_invariants(self) -> None:
+        """Validate internal structural invariants.
+
+        Raises :class:`~repro.errors.ProtocolError` on violation. The
+        base implementation checks nothing; every concrete scheme
+        overrides it with its structural checks (per-level occupancy,
+        exclusivity, stack consistency). Driven periodically by
+        :class:`repro.checks.invariants.InvariantCheckedScheme` when a
+        run is started with ``--check-invariants``.
+        """

@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.events import AccessEvent
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.hierarchy.base import MultiLevelScheme
 from repro.policies.base import Block
 from repro.policies.lru import LRUPolicy
@@ -149,7 +149,7 @@ class CooperativeScheme(MultiLevelScheme):
         else:
             holders = self._holders.get(block)
             peer_holder = next(
-                (c for c in (holders or ()) if c != client), None
+                (c for c in sorted(holders or ()) if c != client), None
             )
             if peer_holder is not None:
                 hit_level = 3  # forwarded from a peer's cache
@@ -173,3 +173,35 @@ class CooperativeScheme(MultiLevelScheme):
     def holders_of(self, block: Block) -> Set[int]:
         """Clients currently holding ``block`` (directory view)."""
         return set(self._holders.get(block, set()))
+
+    def check_invariants(self) -> None:
+        """Occupancy bounds plus directory/cache agreement."""
+        for client, cache in enumerate(self._clients):
+            if len(cache) > cache.capacity:
+                raise ProtocolError(
+                    f"client {client} cache holds {len(cache)} blocks, "
+                    f"capacity {cache.capacity}"
+                )
+        if len(self._server) > self._server.capacity:
+            raise ProtocolError(
+                f"server holds {len(self._server)} blocks, capacity "
+                f"{self._server.capacity}"
+            )
+        for block, holders in self._holders.items():
+            if not holders:
+                raise ProtocolError(
+                    f"directory entry for {block!r} lists no holders"
+                )
+            for holder in sorted(holders):
+                if block not in self._clients[holder]:
+                    raise ProtocolError(
+                        f"directory says client {holder} holds {block!r} "
+                        f"but its cache does not"
+                    )
+        for client, cache in enumerate(self._clients):
+            for resident in cache.recency_order():
+                if client not in self._holders.get(resident, set()):
+                    raise ProtocolError(
+                        f"client {client} caches {resident!r} without a "
+                        f"directory entry"
+                    )

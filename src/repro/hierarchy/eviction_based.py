@@ -27,10 +27,10 @@ demotions (nothing crosses the client-server link).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Optional, Sequence, Tuple
 
 from repro.core.events import AccessEvent
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.hierarchy.base import MultiLevelScheme
 from repro.policies.base import Block
 from repro.policies.lru import LRUPolicy
@@ -121,3 +121,27 @@ class EvictionBasedScheme(MultiLevelScheme):
     def pending_reloads(self) -> int:
         """Reloads currently in flight."""
         return len(self._pending)
+
+    def check_invariants(self) -> None:
+        """Occupancy bounds plus reload-queue time ordering."""
+        for client, cache in enumerate(self._clients):
+            if len(cache) > self.capacities[0]:
+                raise ProtocolError(
+                    f"client {client} cache holds {len(cache)} blocks, "
+                    f"capacity {self.capacities[0]}"
+                )
+        if len(self._server) > self.capacities[1]:
+            raise ProtocolError(
+                f"server holds {len(self._server)} blocks, capacity "
+                f"{self.capacities[1]}"
+            )
+        previous_ready = None
+        for ready, _ in self._pending_queue:
+            if previous_ready is not None and ready < previous_ready:
+                raise ProtocolError("reload queue out of time order")
+            previous_ready = ready
+            if ready > self._clock + self.reload_delay:
+                raise ProtocolError(
+                    f"reload scheduled {ready - self._clock} refs ahead, "
+                    f"beyond the {self.reload_delay}-ref window"
+                )

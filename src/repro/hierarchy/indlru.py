@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.core.events import AccessEvent
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.hierarchy.base import MultiLevelScheme
 from repro.policies.base import Block, ReplacementPolicy
 from repro.policies.registry import make_policy
@@ -91,3 +91,18 @@ class IndependentScheme(MultiLevelScheme):
     def resident(self, client: int, level: int) -> List[Block]:
         """Contents of one cache (tests)."""
         return list(self._level_cache(client, level).resident())
+
+    def check_invariants(self) -> None:
+        """Every per-client and shared cache within its capacity."""
+        for client, cache in enumerate(self._client_caches):
+            if len(cache) > cache.capacity:
+                raise ProtocolError(
+                    f"client {client} cache holds {len(cache)} blocks, "
+                    f"capacity {cache.capacity}"
+                )
+        for level, cache in enumerate(self._shared, start=2):
+            if len(cache) > cache.capacity:
+                raise ProtocolError(
+                    f"shared level {level} holds {len(cache)} blocks, "
+                    f"capacity {cache.capacity}"
+                )

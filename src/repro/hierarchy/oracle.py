@@ -11,10 +11,10 @@ realistic access times.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.core.events import AccessEvent
-from repro.errors import ConfigurationError
+from repro.errors import ProtocolError
 from repro.hierarchy.base import MultiLevelScheme
 from repro.policies.base import Block
 from repro.policies.lru import LRUPolicy
@@ -40,6 +40,14 @@ class AggregateLRUOracle(MultiLevelScheme):
             placed_level=1,
             evicted=tuple(result.evicted),
         )
+
+    def check_invariants(self) -> None:
+        """The aggregate cache never exceeds the summed capacity."""
+        if len(self._cache) > sum(self.capacities):
+            raise ProtocolError(
+                f"aggregate LRU holds {len(self._cache)} blocks, "
+                f"capacity {sum(self.capacities)}"
+            )
 
 
 class AggregateOPTOracle(MultiLevelScheme):
@@ -70,3 +78,11 @@ class AggregateOPTOracle(MultiLevelScheme):
             placed_level=1,
             evicted=tuple(result.evicted),
         )
+
+    def check_invariants(self) -> None:
+        """The aggregate cache never exceeds the summed capacity."""
+        if len(self._cache) > sum(self.capacities):
+            raise ProtocolError(
+                f"aggregate OPT holds {len(self._cache)} blocks, "
+                f"capacity {sum(self.capacities)}"
+            )

@@ -22,14 +22,16 @@ from repro.hierarchy.unilru import (
 
 SchemeFactory = Callable[..., MultiLevelScheme]
 
-_SINGLE: Dict[str, SchemeFactory] = {
+# Filled at import time only; treated as read-only afterwards.
+_SINGLE: Dict[str, SchemeFactory] = {  # repro: noqa SIM001
     "indlru": IndependentScheme,
     "unilru": UnifiedLRUScheme,
     "ulc": ULCScheme,
     "agglru": AggregateLRUOracle,
 }
 
-_MULTI: Dict[str, SchemeFactory] = {
+# Filled at import time only; treated as read-only afterwards.
+_MULTI: Dict[str, SchemeFactory] = {  # repro: noqa SIM001
     "indlru": IndependentScheme,
     "unilru": lambda caps, n, **kw: UnifiedLRUMultiScheme(
         caps, n, insertion=INSERT_MRU, **kw
@@ -53,6 +55,11 @@ _SINGLE["eviction-based"] = EvictionBasedScheme
 def available_schemes(multi_client: bool = False) -> List[str]:
     """Sorted scheme names for the given structure."""
     return sorted(_MULTI if multi_client else _SINGLE)
+
+
+def registry_items(multi_client: bool = False) -> Dict[str, SchemeFactory]:
+    """A copy of the registry mapping (conformance checks, docs)."""
+    return dict(_MULTI if multi_client else _SINGLE)
 
 
 def make_scheme(

@@ -73,3 +73,8 @@ class ULCStaticPartitionScheme(MultiLevelScheme):
         """The client's fixed server share in blocks."""
         self._check_client(client)
         return self._engines[client].capacities[1]
+
+    def check_invariants(self) -> None:
+        """Each client's private ULC engine validates independently."""
+        for engine in self._engines:
+            engine.check_invariants()

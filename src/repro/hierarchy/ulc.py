@@ -7,12 +7,12 @@ the two-level multi-client system (:class:`repro.core.multi.ULCMultiSystem`).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.events import AccessEvent
 from repro.core.multi import NOTIFY_PIGGYBACK, ULCMultiSystem
 from repro.core.protocol import ULCClient
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.hierarchy.base import MultiLevelScheme
 from repro.policies.base import Block
 
@@ -43,6 +43,19 @@ class ULCScheme(MultiLevelScheme):
     def access(self, client: int, block: Block) -> AccessEvent:
         self._check_client(client)
         return self.engine.access(block, client=client)
+
+    def check_invariants(self) -> None:
+        """Stack consistency, per-level occupancy and level exclusivity."""
+        self.engine.check_invariants()
+        seen: Dict[Block, int] = {}
+        for level in range(1, self.num_levels + 1):
+            for resident in self.engine.resident_blocks(level):
+                if resident in seen:
+                    raise ProtocolError(
+                        f"block {resident!r} cached at levels "
+                        f"{seen[resident]} and {level} simultaneously"
+                    )
+                seen[resident] = level
 
 
 class ULCMultiLevelScheme(MultiLevelScheme):
@@ -79,6 +92,10 @@ class ULCMultiLevelScheme(MultiLevelScheme):
     def access(self, client: int, block: Block) -> AccessEvent:
         self._check_client(client)
         return self.system.access(client, block)
+
+    def check_invariants(self) -> None:
+        """Delegate to the n-level system's client/tier checks."""
+        self.system.check_invariants()
 
 
 class ULCMultiScheme(MultiLevelScheme):
@@ -120,3 +137,22 @@ class ULCMultiScheme(MultiLevelScheme):
     def access(self, client: int, block: Block) -> AccessEvent:
         self._check_client(client)
         return self.system.access(client, block)
+
+    def check_invariants(self) -> None:
+        """System checks plus per-client L1/L2-view exclusivity.
+
+        A client's stack assigns each tracked block exactly one level;
+        this re-derives the property from the per-level lists so a
+        corrupted list link cannot hide behind the node index.
+        """
+        self.system.check_invariants()
+        for engine in self.system.clients:
+            own = set(engine.stack.level_blocks(1))
+            view = set(engine.stack.level_blocks(2))
+            overlap = own & view
+            if overlap:
+                raise ProtocolError(
+                    f"client {engine.client_id}: blocks "
+                    f"{sorted(overlap)!r} in both its cache and its "
+                    f"server view"
+                )

@@ -36,7 +36,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.events import AccessEvent, Demotion
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.hierarchy.base import MultiLevelScheme
 from repro.policies.base import Block
 from repro.policies.lru import LRUPolicy
@@ -100,6 +100,27 @@ class UnifiedLRUScheme(MultiLevelScheme):
         for cache in self._levels:
             order.extend(cache.recency_order())
         return order
+
+    def check_invariants(self) -> None:
+        """Per-level occupancy and aggregate-stack consistency.
+
+        The conceptual aggregate stack requires each block to live at
+        exactly one level and each level list to respect its capacity.
+        """
+        seen: Dict[Block, int] = {}
+        for level, cache in enumerate(self._levels, start=1):
+            if len(cache) > cache.capacity:
+                raise ProtocolError(
+                    f"uniLRU level {level} holds {len(cache)} blocks, "
+                    f"capacity {cache.capacity}"
+                )
+            for resident in cache.recency_order():
+                if resident in seen:
+                    raise ProtocolError(
+                        f"block {resident!r} at levels {seen[resident]} "
+                        f"and {level} breaks the aggregate-stack model"
+                    )
+                seen[resident] = level
 
 
 INSERT_MRU = "mru"
@@ -221,3 +242,23 @@ class UnifiedLRUMultiScheme(MultiLevelScheme):
             demotions=tuple(demotions),
             evicted=tuple(evicted),
         )
+
+    def check_invariants(self) -> None:
+        """Occupancy bounds plus demote-ownership bookkeeping."""
+        for client, cache in enumerate(self._clients):
+            if len(cache) > self.capacities[0]:
+                raise ProtocolError(
+                    f"client {client} cache holds {len(cache)} blocks, "
+                    f"capacity {self.capacities[0]}"
+                )
+        if len(self._server) > self.capacities[1]:
+            raise ProtocolError(
+                f"server holds {len(self._server)} blocks, capacity "
+                f"{self.capacities[1]}"
+            )
+        for block in self._demoted_by:
+            if block not in self._server:
+                raise ProtocolError(
+                    f"demote-owner tag for {block!r} outlived its server "
+                    f"residency"
+                )

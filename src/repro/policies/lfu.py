@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.errors import ProtocolError
 from repro.policies.base import Block, ReplacementPolicy
 from repro.util.linkedlist import DoublyLinkedList, ListNode
 
@@ -60,7 +61,8 @@ class LFUPolicy(ReplacementPolicy):
         evicted: List[Block] = []
         if self.full:
             victim = self.victim()
-            assert victim is not None
+            if victim is None:
+                raise ProtocolError("LFU full but no victim available")
             self._unlink(victim)
             evicted.append(victim)
         self._link(block, 1)

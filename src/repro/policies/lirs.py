@@ -118,7 +118,8 @@ class LIRSPolicy(ReplacementPolicy):
         just exposed by the caller."""
         while self._stack:
             bottom = self._stack.tail
-            assert bottom is not None
+            if bottom is None:
+                raise ProtocolError("non-empty LIRS stack has no tail")
             entry = bottom.value
             if entry.state == _LIR:
                 return
@@ -154,7 +155,8 @@ class LIRSPolicy(ReplacementPolicy):
         if not self._queue:
             raise ProtocolError("LIRS eviction with empty HIR queue")
         node = self._queue.tail
-        assert node is not None
+        if node is None:
+            raise ProtocolError("non-empty LIRS queue has no tail")
         entry = node.value
         self._queue_remove(entry)
         if entry.stack_node is not None:

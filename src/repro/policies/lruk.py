@@ -20,6 +20,7 @@ import heapq
 from typing import Deque, Dict, Iterator, List, Optional, Tuple
 from collections import deque
 
+from repro.errors import ProtocolError
 from repro.policies.base import Block, ReplacementPolicy
 from repro.util.validation import check_int, check_positive
 
@@ -75,7 +76,8 @@ class LRUKPolicy(ReplacementPolicy):
         evicted: List[Block] = []
         if self.full:
             victim = self.victim()
-            assert victim is not None
+            if victim is None:
+                raise ProtocolError("LRU-K full but no victim available")
             del self._history[victim]
             evicted.append(victim)
         self._history[block] = deque([self._clock])

@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional
 
+from repro.errors import ProtocolError
 from repro.policies.base import Block, ReplacementPolicy
 from repro.util.linkedlist import DoublyLinkedList, ListNode
 from repro.util.validation import check_int, check_non_negative, check_positive
@@ -105,7 +106,8 @@ class MQPolicy(ReplacementPolicy):
             queue = self._queues[index]
             while queue:
                 tail = queue.tail
-                assert tail is not None
+                if tail is None:
+                    raise ProtocolError("non-empty MQ queue has no tail")
                 entry = tail.value
                 if entry.expire_time >= self._time:
                     break
@@ -146,7 +148,8 @@ class MQPolicy(ReplacementPolicy):
         evicted: List[Block] = []
         if self.full:
             victim = self.victim()
-            assert victim is not None
+            if victim is None:
+                raise ProtocolError("MQ full but no victim available")
             entry = self._dequeue(victim)
             self._remember_ghost(victim, entry.frequency)
             evicted.append(victim)

@@ -16,7 +16,7 @@ O(log n) amortised per reference.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import ProtocolError
 from repro.policies.base import Block, ReplacementPolicy
@@ -52,7 +52,9 @@ class OPTPolicy(ReplacementPolicy):
         self._trace = list(trace)
         self._next_use_at = compute_next_use(self._trace)
         self._clock = 0
-        self._resident: Set[Block] = set()
+        # Dict-as-ordered-set: iteration follows insertion order, so
+        # `resident()` is deterministic (a bare set would not be).
+        self._resident: Dict[Block, None] = {}
         self._next_use: Dict[Block, float] = {}
         # Lazy max-heap of (-next_use, block); stale entries are skipped.
         self._heap: List[tuple] = []
@@ -103,17 +105,17 @@ class OPTPolicy(ReplacementPolicy):
         evicted: List[Block] = []
         if self.full:
             victim = self._current_farthest()
-            self._resident.discard(victim)
+            self._resident.pop(victim, None)
             del self._next_use[victim]
             evicted.append(victim)
-        self._resident.add(block)
+        self._resident[block] = None
         self._set_next_use(block, self._next_use_at[self._clock])
         self._clock += 1
         return evicted
 
     def remove(self, block: Block) -> None:
         self._require_resident(block)
-        self._resident.discard(block)
+        self._resident.pop(block, None)
         del self._next_use[block]
 
     def victim(self) -> Optional[Block]:

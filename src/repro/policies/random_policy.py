@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional
 
+from repro.errors import ProtocolError
 from repro.policies.base import Block, ReplacementPolicy
 from repro.util.rng import make_rng
 
@@ -51,7 +52,8 @@ class RandomPolicy(ReplacementPolicy):
         evicted: List[Block] = []
         if self.full:
             victim = self.victim()
-            assert victim is not None
+            if victim is None:
+                raise ProtocolError("RANDOM full but no victim available")
             self._remove_at(self._index[victim])
             self._pending_victim = None
             evicted.append(victim)

@@ -24,7 +24,9 @@ from repro.policies.twoq import TwoQPolicy
 
 PolicyFactory = Callable[..., ReplacementPolicy]
 
-_REGISTRY: Dict[str, PolicyFactory] = {
+# Mutated only via register_policy at import/registration time, never
+# during a simulation run.
+_REGISTRY: Dict[str, PolicyFactory] = {  # repro: noqa SIM001
     LRUPolicy.name: LRUPolicy,
     MRUPolicy.name: MRUPolicy,
     FIFOPolicy.name: FIFOPolicy,
@@ -42,6 +44,11 @@ _REGISTRY: Dict[str, PolicyFactory] = {
 def available_policies() -> List[str]:
     """Sorted registry names (OPT is excluded: it needs a future trace)."""
     return sorted(_REGISTRY)
+
+
+def registry_items() -> Dict[str, PolicyFactory]:
+    """A copy of the registry mapping (conformance checks, docs)."""
+    return dict(_REGISTRY)
 
 
 def make_policy(name: str, capacity: int, **kwargs: object) -> ReplacementPolicy:

@@ -24,7 +24,7 @@ use :meth:`RunResult.comparable` when checking determinism.
 from __future__ import annotations
 
 import os
-import time
+import time  # repro: noqa DET001 -- wall-clock timing is metadata, not simulation output
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
@@ -75,10 +75,26 @@ def materialize_trace(workload: WorkloadSpec) -> Trace:
     return trace
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
-    """Run one spec to completion, stamping throughput metadata."""
+def execute_spec(
+    spec: RunSpec, check_invariants: Optional[int] = None
+) -> RunResult:
+    """Run one spec to completion, stamping throughput metadata.
+
+    Args:
+        spec: the run to perform.
+        check_invariants: when set, wrap the scheme in
+            :class:`repro.checks.InvariantCheckedScheme` validating its
+            structure every ``check_invariants`` references. The wrapper
+            is observationally transparent — results are bit-identical
+            with or without it — so the flag is deliberately *not* part
+            of the spec hash; cached results are reused either way.
+    """
     trace = materialize_trace(spec.workload)
     scheme = spec.build_scheme()
+    if check_invariants is not None:
+        from repro.checks import InvariantCheckedScheme
+
+        scheme = InvariantCheckedScheme(scheme, every=check_invariants)
     costs = spec.build_costs()
     started = time.perf_counter()
     result = run_simulation(
@@ -93,13 +109,18 @@ def execute_spec(spec: RunSpec) -> RunResult:
 
 def _execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
     """Worker entry point: dicts in, dicts out (stable pickling)."""
-    return execute_spec(RunSpec.from_dict(payload)).to_dict()
+    check_every = payload.get("check_invariants")
+    spec_dict = {k: v for k, v in payload.items() if k != "check_invariants"}
+    every = check_every if isinstance(check_every, int) else None
+    result = execute_spec(RunSpec.from_dict(spec_dict), check_invariants=every)
+    return result.to_dict()
 
 
 def run_specs(
     specs: Sequence[RunSpec],
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    check_invariants: Optional[int] = None,
 ) -> List[RunResult]:
     """Execute ``specs`` and return their results in input order.
 
@@ -109,6 +130,10 @@ def run_specs(
             process, ``0`` uses every core, ``N`` uses N workers.
         cache_dir: result-cache directory; cached specs are returned
             without simulating, fresh results are stored back.
+        check_invariants: when set, every *executed* run validates its
+            scheme's structural invariants each ``check_invariants``
+            references (see :func:`execute_spec`). Cache hits skip the
+            simulation and therefore the checking.
     """
     specs = list(specs)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
@@ -124,13 +149,17 @@ def run_specs(
     workers = min(resolve_jobs(jobs), max(1, len(pending)))
     if len(pending) <= 1 or workers <= 1:
         for index in pending:
-            results[index] = execute_spec(specs[index])
+            results[index] = execute_spec(
+                specs[index], check_invariants=check_invariants
+            )
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                (index, pool.submit(_execute_payload, specs[index].to_dict()))
-                for index in pending
-            ]
+            futures = []
+            for index in pending:
+                payload = dict(specs[index].to_dict())
+                if check_invariants is not None:
+                    payload["check_invariants"] = check_invariants
+                futures.append((index, pool.submit(_execute_payload, payload)))
             for index, future in futures:
                 results[index] = RunResult.from_dict(future.result())
 

@@ -20,13 +20,12 @@ story rather than a fixed surcharge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
-from repro.errors import ConfigurationError
 from repro.sim.costs import CostModel
 from repro.sim.metrics import MetricsCollector
 from repro.sim.results import RunResult
-from repro.util.validation import check_fraction, check_positive
+from repro.util.validation import check_positive
 
 #: Utilisation cap: beyond this a link is reported saturated rather than
 #: returning astronomically large (and meaningless) M/M/1 numbers.

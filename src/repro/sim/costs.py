@@ -18,8 +18,8 @@ are 0 / 1 / 1.2 ms and a miss costs 11.2 ms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.events import AccessEvent
 from repro.errors import ConfigurationError

@@ -8,8 +8,8 @@ demotion components.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.core.events import AccessEvent
 from repro.sim.costs import CostModel

@@ -6,7 +6,7 @@ import csv
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 
 #: ``extras`` keys holding wall-clock measurement metadata. They vary

@@ -49,6 +49,7 @@ def sweep_server_size(
     num_clients: int = 1,
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    check_invariants: Optional[int] = None,
 ) -> Dict[str, List[SweepPoint]]:
     """Run every scheme at every server size over ``trace``.
 
@@ -63,6 +64,11 @@ def sweep_server_size(
     With specs, ``jobs`` selects the worker-process count (``None``/1
     serial, 0 all cores) and ``cache_dir`` an on-disk result cache;
     parallel results are identical to serial ones.
+
+    ``check_invariants`` (an interval in references) validates every
+    scheme's structural invariants while it runs — see
+    :class:`repro.checks.InvariantCheckedScheme`. It never changes the
+    results.
 
     Returns ``{label: [SweepPoint, ...]}`` in ``server_sizes`` order.
     """
@@ -82,6 +88,7 @@ def sweep_server_size(
             num_clients,
             jobs,
             cache_dir,
+            check_invariants,
         )
     if not isinstance(trace, Trace):
         raise TypeError(
@@ -100,6 +107,12 @@ def sweep_server_size(
                 )
             else:
                 scheme = builder([client_capacity, int(server_size)])
+            if check_invariants is not None:
+                from repro.checks import InvariantCheckedScheme
+
+                scheme = InvariantCheckedScheme(
+                    scheme, every=check_invariants
+                )
             result = run_simulation(
                 scheme, trace, costs, warmup_fraction=warmup_fraction
             )
@@ -117,6 +130,7 @@ def _sweep_specs(
     num_clients: int,
     jobs: Optional[int],
     cache_dir: Optional[Union[str, Path]],
+    check_invariants: Optional[int] = None,
 ) -> Dict[str, List[SweepPoint]]:
     from repro.runner.executor import run_specs
     from repro.runner.spec import CostSpec, specs_for_sweep
@@ -131,7 +145,10 @@ def _sweep_specs(
         warmup_fraction=warmup_fraction,
     )
     results = run_specs(
-        [spec for _, _, spec in rows], jobs=jobs, cache_dir=cache_dir
+        [spec for _, _, spec in rows],
+        jobs=jobs,
+        cache_dir=cache_dir,
+        check_invariants=check_invariants,
     )
     out: Dict[str, List[SweepPoint]] = {label: [] for label in builders}
     for (label, size, _), result in zip(rows, results):

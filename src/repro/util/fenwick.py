@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProtocolError
 
 
 class FenwickTree:
@@ -121,3 +121,25 @@ class FenwickTree:
     def to_list(self) -> List[int]:
         """Dense copy of all slot values (O(n log n); for tests/debugging)."""
         return [self.get(i) for i in range(self._size)]
+
+    def check_invariants(self) -> None:
+        """Validate internal node sums against a dense recount.
+
+        Rebuilds each internal node's covered-range sum from the dense
+        slot values and checks the cached :attr:`total`. O(n log n);
+        raises :class:`~repro.errors.ProtocolError` on mismatch.
+        """
+        dense = self.to_list()
+        if sum(dense) != self._total:
+            raise ProtocolError(
+                f"Fenwick total {self._total} != dense sum {sum(dense)}"
+            )
+        for i in range(1, self._size + 1):
+            # Internal node i covers slots [i - lowbit(i), i) (0-based).
+            low = i - (i & (-i))
+            expected = sum(dense[low:i])
+            if self._tree[i] != expected:
+                raise ProtocolError(
+                    f"Fenwick node {i} holds {self._tree[i]}, covered "
+                    f"range sums to {expected}"
+                )

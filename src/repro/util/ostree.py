@@ -13,10 +13,10 @@ handle so a specific occurrence can be deleted.
 
 from __future__ import annotations
 
-import random
 from typing import Any, Iterator, List, Optional
 
 from repro.errors import ProtocolError
+from repro.util.rng import make_stdlib_rng
 
 
 class _TreapNode:
@@ -44,7 +44,9 @@ class OrderStatisticTree:
     """
 
     def __init__(self, seed: int = 0x5EED) -> None:
-        self._rng = random.Random(seed)
+        # Per-tree PRNG: priorities are deterministic in the seed and
+        # isolated from any other random stream in the process.
+        self._rng = make_stdlib_rng(seed)
         self._root: Optional[_TreapNode] = None
 
     def __len__(self) -> int:
@@ -194,3 +196,46 @@ class OrderStatisticTree:
 
     def __iter__(self) -> Iterator[Any]:
         return iter(self.keys())
+
+    def check_invariants(self) -> None:
+        """Validate BST order, heap priorities, sizes and parent links.
+
+        O(n); raises :class:`~repro.errors.ProtocolError` on the first
+        violation. Driven by the ``--check-invariants`` harness through
+        the analysis structures that embed this tree.
+        """
+        if self._root is not None and self._root.parent is not None:
+            raise ProtocolError("treap root has a parent link")
+
+        def walk(node: Optional[_TreapNode]) -> int:
+            if node is None:
+                return 0
+            for child, side in ((node.left, "left"), (node.right, "right")):
+                if child is None:
+                    continue
+                if child.parent is not node:
+                    raise ProtocolError(
+                        f"treap {side} child of {node.key!r} has a stale "
+                        f"parent link"
+                    )
+                if child.priority > node.priority:
+                    raise ProtocolError(
+                        f"treap heap order broken at key {node.key!r}"
+                    )
+            if node.left is not None and node.key < node.left.key:
+                raise ProtocolError(
+                    f"treap BST order broken left of {node.key!r}"
+                )
+            if node.right is not None and node.right.key < node.key:
+                raise ProtocolError(
+                    f"treap BST order broken right of {node.key!r}"
+                )
+            size = 1 + walk(node.left) + walk(node.right)
+            if node.size != size:
+                raise ProtocolError(
+                    f"treap subtree size at {node.key!r} is {node.size}, "
+                    f"recount gives {size}"
+                )
+            return size
+
+        walk(self._root)

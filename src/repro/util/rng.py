@@ -10,6 +10,7 @@ seed.
 from __future__ import annotations
 
 import hashlib
+import random
 from typing import List
 
 import numpy as np
@@ -18,6 +19,17 @@ import numpy as np
 def make_rng(seed: int) -> np.random.Generator:
     """Create a NumPy generator from an integer seed."""
     return np.random.default_rng(seed)
+
+
+def make_stdlib_rng(seed: int) -> random.Random:
+    """Create a stdlib :class:`random.Random` from an integer seed.
+
+    Lightweight components that only need a stream of floats (e.g. treap
+    priorities) use this instead of a NumPy generator; routing the
+    construction through here keeps ``import random`` confined to this
+    module, which the DET001 lint rule enforces.
+    """
+    return random.Random(seed)
 
 
 def derive_seed(root: int, *labels: object) -> int:

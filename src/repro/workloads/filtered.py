@@ -11,11 +11,8 @@ policies can be studied in their native habitat.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from repro.policies.lru import LRUPolicy
 from repro.policies.registry import make_policy
 from repro.util.validation import check_int, check_positive
 from repro.workloads.base import Trace, TraceInfo

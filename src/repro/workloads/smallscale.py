@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.errors import ConfigurationError
-from repro.workloads.base import Trace, TraceInfo
+from repro.workloads.base import Trace
 from repro.workloads.synthetic import (
     interleaved_trace,
     looping_trace,

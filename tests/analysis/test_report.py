@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.report import render_figure6, render_sweep
 from repro.sim import RunResult, SweepPoint

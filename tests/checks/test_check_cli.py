@@ -1,0 +1,58 @@
+"""End-to-end tests for the ``repro check`` CLI command."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro
+from repro.cli import main
+
+SRC_REPRO = Path(repro.__file__).resolve().parent
+
+
+class TestCheckCommand:
+    def test_own_tree_is_clean(self, capsys):
+        assert main(["check", str(SRC_REPRO)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_default_path_is_the_package(self, capsys):
+        assert main(["check"]) == 0
+        assert "finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nassert True\n")
+        assert main(["check", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "ASSERT001" in out
+
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nassert True\n")
+        assert main(["check", str(bad), "--select", "ASSERT001"]) == 1
+        out = capsys.readouterr().out
+        assert "ASSERT001" in out
+        assert "DET001" not in out
+
+    def test_json_format_parses(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main(["check", str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+        assert payload["files_checked"] == 1
+        assert [f["rule"] for f in payload["findings"]] == ["DET001"]
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["check", "/no/such/tree"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_list_rules_shows_all_codes(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET002", "SIM001", "ERR001",
+                     "ASSERT001", "FLT001", "SEED001", "API001"):
+            assert code in out

@@ -1,0 +1,382 @@
+"""Unit tests for every ``repro check`` lint rule.
+
+Each rule gets a positive case (a synthetic file that must trigger it)
+and a suppressed case (the same violation silenced with ``# repro: noqa
+RULE``). Scoped rules (DET002, SIM001) are exercised from a ``policies/``
+sub-directory because they only guard result-bearing code.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.checks import run_checks
+from repro.checks.engine import check_file, iter_python_files
+from repro.errors import ConfigurationError
+
+
+def lint(tmp_path: Path, relpath: str, source: str, select=()):
+    """Write ``source`` under ``tmp_path`` and lint it with ``select``."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return check_file(path, select=select)
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestDET001:
+    def test_import_random_flagged(self, tmp_path):
+        findings, _ = lint(tmp_path, "mod.py", "import random\n",
+                           select=("DET001",))
+        assert rules_of(findings) == ["DET001"]
+
+    def test_from_time_import_flagged(self, tmp_path):
+        findings, _ = lint(tmp_path, "mod.py",
+                           "from time import monotonic\n",
+                           select=("DET001",))
+        assert rules_of(findings) == ["DET001"]
+
+    def test_os_urandom_flagged(self, tmp_path):
+        findings, _ = lint(tmp_path, "mod.py",
+                           "import os\nseed = os.urandom(4)\n",
+                           select=("DET001",))
+        assert rules_of(findings) == ["DET001"]
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings, suppressed = lint(
+            tmp_path, "mod.py",
+            "import time  # repro: noqa DET001 -- wall-clock metadata\n",
+            select=("DET001",),
+        )
+        assert findings == []
+        assert suppressed == 1
+
+    def test_rng_module_is_exempt(self, tmp_path):
+        findings, _ = lint(tmp_path, "util/rng.py", "import random\n",
+                           select=("DET001",))
+        assert findings == []
+
+
+class TestDET002:
+    def test_for_over_set_flagged(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "policies/mod.py",
+            """
+            def f():
+                for x in {1, 2, 3}:
+                    print(x)
+            """,
+            select=("DET002",),
+        )
+        assert rules_of(findings) == ["DET002"]
+
+    def test_comprehension_over_set_variable_flagged(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "hierarchy/mod.py",
+            """
+            def f():
+                items = {1, 2, 3}
+                return [x for x in items]
+            """,
+            select=("DET002",),
+        )
+        assert rules_of(findings) == ["DET002"]
+
+    def test_sorted_set_is_fine(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "core/mod.py",
+            """
+            def f(items: set):
+                for x in sorted({1, 2, 3}):
+                    print(x)
+            """,
+            select=("DET002",),
+        )
+        assert findings == []
+
+    def test_outside_result_dirs_not_checked(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "analysis_mod.py",
+            """
+            def f():
+                for x in {1, 2, 3}:
+                    print(x)
+            """,
+            select=("DET002",),
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings, suppressed = lint(
+            tmp_path, "policies/mod.py",
+            """
+            def f():
+                for x in {1, 2, 3}:  # repro: noqa DET002
+                    print(x)
+            """,
+            select=("DET002",),
+        )
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestSIM001:
+    def test_module_level_dict_flagged(self, tmp_path):
+        findings, _ = lint(tmp_path, "policies/mod.py", "CACHE = {}\n",
+                           select=("SIM001",))
+        assert rules_of(findings) == ["SIM001"]
+
+    def test_class_level_list_flagged(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "core/mod.py",
+            """
+            class Engine:
+                history = []
+            """,
+            select=("SIM001",),
+        )
+        assert rules_of(findings) == ["SIM001"]
+
+    def test_instance_state_is_fine(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "policies/mod.py",
+            """
+            class Engine:
+                def __init__(self):
+                    self.history = []
+            """,
+            select=("SIM001",),
+        )
+        assert findings == []
+
+    def test_slots_allowed(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "policies/mod.py",
+            "__all__ = [\"Engine\"]\n",
+            select=("SIM001",),
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings, suppressed = lint(
+            tmp_path, "policies/mod.py",
+            "REGISTRY = {}  # repro: noqa SIM001\n",
+            select=("SIM001",),
+        )
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestERR001:
+    def test_bare_except_flagged(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "mod.py",
+            """
+            try:
+                work()
+            except:
+                pass
+            """,
+            select=("ERR001",),
+        )
+        assert rules_of(findings) == ["ERR001"]
+
+    def test_blind_exception_flagged(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "mod.py",
+            """
+            try:
+                work()
+            except Exception:
+                log()
+            """,
+            select=("ERR001",),
+        )
+        assert rules_of(findings) == ["ERR001"]
+
+    def test_exception_with_reraise_is_fine(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "mod.py",
+            """
+            try:
+                work()
+            except Exception:
+                log()
+                raise
+            """,
+            select=("ERR001",),
+        )
+        assert findings == []
+
+    def test_specific_exception_is_fine(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "mod.py",
+            """
+            try:
+                work()
+            except ValueError:
+                pass
+            """,
+            select=("ERR001",),
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings, suppressed = lint(
+            tmp_path, "mod.py",
+            """
+            try:
+                work()
+            except:  # repro: noqa ERR001
+                pass
+            """,
+            select=("ERR001",),
+        )
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestASSERT001:
+    def test_assert_flagged(self, tmp_path):
+        findings, _ = lint(tmp_path, "mod.py", "assert 1 == 1\n",
+                           select=("ASSERT001",))
+        assert rules_of(findings) == ["ASSERT001"]
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings, suppressed = lint(
+            tmp_path, "mod.py",
+            "assert 1 == 1  # repro: noqa ASSERT001\n",
+            select=("ASSERT001",),
+        )
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestFLT001:
+    def test_float_literal_equality_flagged(self, tmp_path):
+        findings, _ = lint(tmp_path, "mod.py", "ok = rate == 0.5\n",
+                           select=("FLT001",))
+        assert rules_of(findings) == ["FLT001"]
+
+    def test_float_inf_inequality_flagged(self, tmp_path):
+        findings, _ = lint(tmp_path, "mod.py",
+                           "ok = t != float(\"inf\")\n",
+                           select=("FLT001",))
+        assert rules_of(findings) == ["FLT001"]
+
+    def test_integer_equality_is_fine(self, tmp_path):
+        findings, _ = lint(tmp_path, "mod.py", "ok = count == 5\n",
+                           select=("FLT001",))
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings, suppressed = lint(
+            tmp_path, "mod.py",
+            "ok = rate == 0.5  # repro: noqa FLT001\n",
+            select=("FLT001",),
+        )
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestSEED001:
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "mod.py",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            select=("SEED001",),
+        )
+        assert rules_of(findings) == ["SEED001"]
+
+    def test_global_seed_flagged(self, tmp_path):
+        findings, _ = lint(tmp_path, "mod.py", "random.seed(0)\n",
+                           select=("SEED001",))
+        assert rules_of(findings) == ["SEED001"]
+
+    def test_legacy_np_random_flagged(self, tmp_path):
+        findings, _ = lint(tmp_path, "mod.py",
+                           "x = np.random.randint(0, 10)\n",
+                           select=("SEED001",))
+        assert rules_of(findings) == ["SEED001"]
+
+    def test_seeded_default_rng_is_fine(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "mod.py",
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+            select=("SEED001",),
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings, suppressed = lint(
+            tmp_path, "mod.py",
+            "rng = np.random.default_rng()  # repro: noqa SEED001\n",
+            select=("SEED001",),
+        )
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestEngine:
+    def test_blanket_noqa_suppresses_every_rule(self, tmp_path):
+        findings, suppressed = lint(
+            tmp_path, "mod.py",
+            "import random  # repro: noqa\n",
+        )
+        assert findings == []
+        assert suppressed == 1
+
+    def test_noqa_lists_multiple_rules(self, tmp_path):
+        findings, suppressed = lint(
+            tmp_path, "mod.py",
+            "assert rate == 0.5  # repro: noqa ASSERT001, FLT001\n",
+        )
+        assert findings == []
+        assert suppressed == 2
+
+    def test_noqa_for_other_rule_does_not_suppress(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "mod.py",
+            "import random  # repro: noqa FLT001\n",
+            select=("DET001",),
+        )
+        assert rules_of(findings) == ["DET001"]
+
+    def test_run_checks_reports_counts(self, tmp_path):
+        (tmp_path / "a.py").write_text("import random\n")
+        (tmp_path / "b.py").write_text("x = 1\n")
+        report = run_checks([tmp_path], registry=False)
+        assert report.files_checked == 2
+        assert rules_of(report.findings) == ["DET001"]
+        assert report.exit_code == 1
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        report = run_checks([tmp_path], registry=False)
+        assert report.findings == []
+        assert report.exit_code == 0
+
+    def test_missing_path_raises(self):
+        with pytest.raises(ConfigurationError):
+            iter_python_files(["/no/such/path.py"])
+
+    def test_syntax_error_raises(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        with pytest.raises(ConfigurationError):
+            check_file(bad)
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "mod.py",
+            "assert rate == 0.5\nimport random\n",
+        )
+        assert [(f.line, f.rule) for f in findings] == [
+            (1, "ASSERT001"), (1, "FLT001"), (2, "DET001"),
+        ]

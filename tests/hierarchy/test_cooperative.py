@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.errors import ConfigurationError
 from repro.hierarchy import CooperativeScheme, IndependentScheme, cooperative_costs
 from repro.sim import run_simulation
-from repro.workloads import openmail_like, zipf_trace
+from repro.workloads import openmail_like
 
 
 class TestGreedyForwarding:
