@@ -142,7 +142,7 @@ def bench_policy_shootout(benchmark, scale):
         rows = []
         for workload_name, trace in workloads.items():
             capacity = max(64, trace.num_unique_blocks // 5)
-            blocks = trace.blocks.tolist()
+            blocks = memoryview(trace.blocks)
             warm = len(blocks) // 10
             rates = {}
             for name in names:
@@ -152,7 +152,7 @@ def bench_policy_shootout(benchmark, scale):
                     if policy.access(block).hit and index >= warm:
                         hits += 1
                 rates[name] = hits / (len(blocks) - warm)
-            opt = OPTPolicy(capacity, blocks)
+            opt = OPTPolicy(capacity, trace)
             hits = 0
             for index, block in enumerate(blocks):
                 if opt.access(block).hit and index >= warm:

@@ -12,12 +12,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
-from repro.core.measures import (
-    NO_VALUE,
-    next_reference_times,
-    nld_values,
-    recencies_at_access,
-)
+from repro.core.measures import NO_VALUE, nld_from, recencies_at_access
 from repro.analysis.ordered_list import MeasureReport, OrderedListTracker
 from repro.errors import ConfigurationError, ProtocolError
 from repro.workloads.base import Trace
@@ -70,17 +65,20 @@ def analyze_measures(
             raise ConfigurationError(
                 f"unknown measure {measure!r}; available: {ALL_MEASURES}"
             )
-    blocks_raw = trace.blocks
-    if len(blocks_raw) == 0:
+    if len(trace) == 0:
         raise ConfigurationError("cannot analyse an empty trace")
-    universe, block_ids = np.unique(blocks_raw, return_inverse=True)
-    num_blocks = len(universe)
+    # Offline precomputation shared by the measures: dense ids and
+    # next-reference times come from the trace's cached preprocess; one
+    # Fenwick pass over the dense ids supplies R, and NLD is derived
+    # from the two rather than recomputed.
+    pre = trace.preprocess()
+    block_ids = pre.dense_ids
+    num_blocks = len(pre.unique_blocks)
     num_refs = len(block_ids)
 
-    # Offline precomputation shared by the measures.
-    recency_at = recencies_at_access(block_ids.tolist())
-    next_ref = next_reference_times(block_ids.tolist())
-    nld_at = nld_values(block_ids.tolist())
+    recency_at = recencies_at_access(block_ids)
+    next_ref = pre.next_ref
+    nld_at = nld_from(recency_at, next_ref)
 
     trackers: Dict[str, OrderedListTracker] = {
         measure: OrderedListTracker(num_blocks, num_segments, measure)

@@ -1,0 +1,252 @@
+"""Headless core-ops benchmark harness (the ``repro bench`` command).
+
+Runs the :mod:`benchmarks.bench_core_ops` scenarios without pytest —
+ULC single-client throughput at several cache sizes, the plain-LRU
+baseline, and the multi-client end-to-end system — then writes the
+results to ``BENCH_core_ops.json`` and compares them against the
+previous run of the same file.
+
+The JSON document carries, per benchmark, the best-of-``rounds``
+wall time and the derived references/second, plus the git revision the
+numbers were measured at. When a previous document exists (either the
+output file itself or an explicit ``--baseline``), any benchmark whose
+refs/s dropped by more than the regression threshold (default 30%)
+is reported and the command exits non-zero — this is what the CI
+bench-smoke job gates on.
+
+Scenario parameters deliberately mirror ``benchmarks/bench_core_ops.py``
+so the two harnesses measure the same thing; traces are built once
+outside the timed region and fed as memoryviews (per-element Python
+ints, no bulk list conversion), so the clock sees the engines only.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time  # repro: noqa DET001 -- wall-clock benchmark timing, not simulation state
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core import ULCClient, ULCMultiSystem
+from repro.policies import LRUPolicy
+from repro.workloads import zipf_trace
+
+#: Suite identifier stamped into the JSON document.
+SUITE = "core_ops"
+#: Default output (and implicit baseline) file.
+DEFAULT_OUTPUT = "BENCH_core_ops.json"
+#: Default allowed refs/s drop before the run is called a regression.
+DEFAULT_THRESHOLD = 0.30
+#: References per scenario for a full run / a ``--smoke`` run.
+FULL_REFS = 20_000
+SMOKE_REFS = 4_000
+#: Timed repetitions (best-of) for a full run / a ``--smoke`` run.
+FULL_ROUNDS = 3
+SMOKE_ROUNDS = 2
+
+Refs = Iterable[int]
+BenchResult = Dict[str, float]
+
+
+def _drive_ulc(capacity_per_level: int, refs: Refs) -> None:
+    engine = ULCClient([capacity_per_level] * 3)
+    access = engine.access
+    for block in refs:
+        access(block)
+
+
+def _drive_lru(refs: Refs) -> None:
+    policy = LRUPolicy(3072)
+    access = policy.access
+    for block in refs:
+        access(block)
+
+
+def _drive_multi(refs: Refs) -> None:
+    system = ULCMultiSystem(8, client_capacity=128, server_capacity=2048)
+    access = system.access
+    index = 0
+    for block in refs:
+        access(index % 8, block)
+        index += 1
+
+
+def _scenarios(num_refs: int) -> List[Tuple[str, Callable[[], None]]]:
+    """Build the benchmark scenarios with their traces pre-materialised."""
+    scenarios: List[Tuple[str, Callable[[], None]]] = []
+    for capacity in (256, 1024, 4096):
+        refs = memoryview(zipf_trace(capacity * 8, num_refs, seed=1).blocks)
+        scenarios.append((
+            f"ulc_access_throughput[{capacity}]",
+            lambda c=capacity, r=refs: _drive_ulc(c, r),
+        ))
+    lru_refs = memoryview(zipf_trace(8192, num_refs, seed=1).blocks)
+    scenarios.append(
+        ("lru_access_throughput", lambda: _drive_lru(lru_refs))
+    )
+    multi_refs = memoryview(zipf_trace(8192, num_refs, seed=2).blocks)
+    scenarios.append(
+        ("multi_client_throughput", lambda: _drive_multi(multi_refs))
+    )
+    return scenarios
+
+
+def run_suite(
+    num_refs: int = FULL_REFS, rounds: int = FULL_ROUNDS
+) -> Dict[str, BenchResult]:
+    """Time every scenario; best-of-``rounds`` wall time per scenario."""
+    results: Dict[str, BenchResult] = {}
+    for name, drive in _scenarios(num_refs):
+        best = float("inf")
+        for _ in range(max(1, rounds)):
+            started = time.perf_counter()
+            drive()
+            elapsed = time.perf_counter() - started
+            if elapsed < best:
+                best = elapsed
+        results[name] = {
+            "refs": num_refs,
+            "wall_time_s": round(best, 6),
+            "refs_per_s": round(num_refs / best, 1),
+        }
+    return results
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else "unknown"
+
+
+def find_regressions(
+    current: Dict[str, BenchResult],
+    previous: Dict[str, BenchResult],
+    threshold: float,
+) -> List[str]:
+    """Benchmarks whose refs/s dropped by more than ``threshold``.
+
+    Benchmarks present on only one side are ignored (new scenarios are
+    not regressions; removed ones cannot be compared).
+    """
+    messages: List[str] = []
+    for name, entry in current.items():
+        old = previous.get(name)
+        if not isinstance(old, dict):
+            continue
+        old_rate = old.get("refs_per_s")
+        new_rate = entry.get("refs_per_s")
+        if not old_rate or not new_rate:
+            continue
+        if new_rate < old_rate * (1.0 - threshold):
+            drop = 1.0 - new_rate / old_rate
+            messages.append(
+                f"{name}: {new_rate:,.0f} refs/s vs previous "
+                f"{old_rate:,.0f} (-{drop:.0%}, threshold {threshold:.0%})"
+            )
+    return messages
+
+
+def _format_report(
+    results: Dict[str, BenchResult],
+    previous: Optional[Dict[str, BenchResult]],
+) -> str:
+    from repro.util.tables import format_table
+
+    rows: List[List[object]] = []
+    for name, entry in results.items():
+        row: List[object] = [
+            name,
+            f"{entry['refs_per_s']:,.0f}",
+            f"{entry['wall_time_s'] * 1e3:.1f}",
+        ]
+        old = previous.get(name) if previous else None
+        if isinstance(old, dict) and old.get("refs_per_s"):
+            ratio = entry["refs_per_s"] / float(old["refs_per_s"])
+            row.append(f"{ratio:.2f}x")
+        else:
+            row.append("-")
+        rows.append(row)
+    return format_table(
+        ["benchmark", "refs/s", "best ms", "vs previous"],
+        rows,
+        title=f"repro bench ({SUITE})",
+    )
+
+
+def run_bench(
+    output: Union[str, Path] = DEFAULT_OUTPUT,
+    baseline: Optional[Union[str, Path]] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    smoke: bool = False,
+    rounds: Optional[int] = None,
+    refs: Optional[int] = None,
+) -> int:
+    """Run the suite, write ``output``, compare against the baseline.
+
+    Returns the process exit code: 0 clean, 1 when at least one
+    benchmark regressed beyond ``threshold``.
+    """
+    num_refs = refs if refs is not None else (SMOKE_REFS if smoke else FULL_REFS)
+    num_rounds = rounds if rounds is not None else (
+        SMOKE_ROUNDS if smoke else FULL_ROUNDS
+    )
+    out_path = Path(output)
+    baseline_path = Path(baseline) if baseline is not None else out_path
+    previous_doc: Optional[Dict[str, object]] = None
+    if baseline_path.is_file():
+        try:
+            loaded = json.loads(baseline_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            loaded = None
+        if isinstance(loaded, dict):
+            previous_doc = loaded
+
+    results = run_suite(num_refs, num_rounds)
+
+    previous_benchmarks: Optional[Dict[str, BenchResult]] = None
+    if previous_doc is not None:
+        benchmarks = previous_doc.get("benchmarks")
+        if isinstance(benchmarks, dict):
+            previous_benchmarks = benchmarks
+
+    print(_format_report(results, previous_benchmarks))
+    regressions: List[str] = []
+    if previous_benchmarks is not None:
+        regressions = find_regressions(results, previous_benchmarks, threshold)
+
+    payload: Dict[str, object] = {
+        "suite": SUITE,
+        "git_rev": git_rev(),
+        "smoke": smoke,
+        "rounds": num_rounds,
+        "benchmarks": results,
+    }
+    if previous_doc is not None:
+        payload["previous"] = {
+            "git_rev": previous_doc.get("git_rev", "unknown"),
+            "benchmarks": previous_benchmarks or {},
+        }
+    out_path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"\nwrote {out_path}")
+
+    if regressions:
+        print("\nREGRESSIONS (refs/s below threshold):")
+        for message in regressions:
+            print(f"  {message}")
+        return 1
+    if previous_benchmarks is not None:
+        print(f"no regression beyond {threshold:.0%} vs {baseline_path}")
+    return 0

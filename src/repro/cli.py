@@ -23,6 +23,10 @@ Usage::
     python -m repro simulate --scheme unilru --levels 64 448 \\
         --trace my_trace.txt --clients 4 --jobs 1 --cache-dir .runcache
 
+    # headless core-ops benchmarks with a regression gate
+    python -m repro bench [--smoke] [--threshold 0.30] \\
+        [--output BENCH_core_ops.json] [--baseline previous.json]
+
     # simulator-aware static analysis (lint) over the source tree
     python -m repro check [PATH ...defaults to the installed package]
     python -m repro check src/repro --format json
@@ -57,7 +61,7 @@ from repro.experiments import (
 
 EXPERIMENTS = ("figure2", "figure3", "table1", "figure6", "figure7",
                "ablations", "all", "workloads", "simulate", "classify",
-               "experiment", "check")
+               "experiment", "check", "bench")
 
 #: Experiments the generic ``experiment`` command can target.
 EXPERIMENT_TARGETS = ("figure2", "figure3", "table1", "figure6", "figure7",
@@ -94,6 +98,23 @@ def _run_check(args: argparse.Namespace) -> int:
     report = run_checks(paths, select=tuple(args.select or ()))
     print(format_findings(report, args.format))
     return report.exit_code
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """The ``bench`` command: headless core-ops benchmark suite.
+
+    Writes ``BENCH_core_ops.json`` and returns non-zero when any
+    benchmark regressed beyond the threshold vs the previous document.
+    """
+    from repro.bench import DEFAULT_OUTPUT, run_bench
+
+    return run_bench(
+        output=args.output or DEFAULT_OUTPUT,
+        baseline=args.baseline,
+        threshold=args.threshold,
+        smoke=args.smoke,
+        rounds=args.rounds,
+    )
 
 
 def _run_classify(args: argparse.Namespace) -> str:
@@ -424,6 +445,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.1,
         help="warm-up fraction (simulate; default 0.1)",
     )
+    bench = parser.add_argument_group("bench options")
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "bench: JSON document to compare against (default: the "
+            "--output file's previous content, if any)"
+        ),
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help=(
+            "bench: allowed fractional refs/s drop before the run "
+            "fails (default 0.30)"
+        ),
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bench: reduced references/rounds for CI smoke runs",
+    )
+    bench.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="bench: timed repetitions per scenario (best-of)",
+    )
     check = parser.add_argument_group("check options")
     check.add_argument(
         "--format",
@@ -453,6 +503,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.experiment == "check":
             return _run_check(args)
+        if args.experiment == "bench":
+            return _run_bench(args)
         if args.experiment == "simulate":
             report = _run_simulate(args)
         elif args.experiment == "classify":

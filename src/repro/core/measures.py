@@ -32,13 +32,27 @@ from repro.util.fenwick import FenwickTree
 NO_VALUE = -1
 
 
+def _as_iterable(blocks: Sequence[Block]) -> Sequence[Block]:
+    """A cheap per-element view of ``blocks`` yielding Python scalars.
+
+    NumPy arrays are viewed through a ``memoryview`` — iteration then
+    yields plain ints (hashable at dict speed) with no bulk list copy;
+    other sequences are used as-is.
+    """
+    if isinstance(blocks, np.ndarray):
+        return memoryview(  # type: ignore[return-value]
+            np.ascontiguousarray(blocks, dtype=np.int64)
+        )
+    return blocks
+
+
 def recencies_at_access(blocks: Sequence[Block]) -> np.ndarray:
     """R at each reference: LRU stack distance, ``NO_VALUE`` on first use.
 
     The value at position ``t`` is also, by definition, the **LLD** the
     block carries *after* reference ``t`` until its next reference.
     """
-    blocks = list(blocks)
+    blocks = _as_iterable(blocks)
     n = len(blocks)
     tree = FenwickTree(n)
     last_slot: Dict[Block, int] = {}
@@ -55,8 +69,23 @@ def recencies_at_access(blocks: Sequence[Block]) -> np.ndarray:
 
 def next_reference_times(blocks: Sequence[Block]) -> np.ndarray:
     """ND surrogate at each reference: index of the next reference to the
-    same block, ``NO_VALUE`` when there is none."""
-    blocks = list(blocks)
+    same block, ``NO_VALUE`` when there is none.
+
+    NumPy inputs take a vectorised path (stable argsort groups the
+    positions of each block; within a group every position's successor
+    is its next reference) — the same construction as
+    :class:`repro.workloads.base.TracePreprocess`, which callers holding
+    a :class:`~repro.workloads.base.Trace` should prefer.
+    """
+    if isinstance(blocks, np.ndarray):
+        ids = blocks
+        n = len(ids)
+        out = np.full(n, NO_VALUE, dtype=np.int64)
+        if n:
+            order = np.argsort(ids, kind="stable")
+            same = ids[order[:-1]] == ids[order[1:]]
+            out[order[:-1][same]] = order[1:][same]
+        return out
     n = len(blocks)
     out = np.full(n, NO_VALUE, dtype=np.int64)
     last_seen: Dict[Block, int] = {}
@@ -68,15 +97,26 @@ def next_reference_times(blocks: Sequence[Block]) -> np.ndarray:
     return out
 
 
-def nld_values(blocks: Sequence[Block]) -> np.ndarray:
-    """NLD at each reference: the recency of the *next* reference to the
-    same block, ``NO_VALUE`` when the block is never referenced again."""
-    recencies = recencies_at_access(blocks)
-    next_ref = next_reference_times(blocks)
+def nld_from(recencies: np.ndarray, next_ref: np.ndarray) -> np.ndarray:
+    """NLD from already-computed recencies and next-reference times.
+
+    Use this when both inputs are at hand (e.g. from a
+    :class:`~repro.workloads.base.TracePreprocess` plus one
+    :func:`recencies_at_access` pass) instead of :func:`nld_values`,
+    which recomputes both.
+    """
     out = np.full(len(recencies), NO_VALUE, dtype=np.int64)
     has_next = next_ref != NO_VALUE
     out[has_next] = recencies[next_ref[has_next]]
     return out
+
+
+def nld_values(blocks: Sequence[Block]) -> np.ndarray:
+    """NLD at each reference: the recency of the *next* reference to the
+    same block, ``NO_VALUE`` when the block is never referenced again."""
+    return nld_from(
+        recencies_at_access(blocks), next_reference_times(blocks)
+    )
 
 
 def lld_r(lld: int, recency: int) -> int:

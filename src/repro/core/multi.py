@@ -27,14 +27,14 @@ Key mechanisms implemented here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.events import AccessEvent, Demotion
 from repro.core.stack import UniLRUStack
 from repro.errors import ConfigurationError, ProtocolError
 from repro.policies.base import Block
 from repro.policies.lru import LRUPolicy
-from repro.util.linkedlist import DoublyLinkedList, ListNode
+from repro.util.intlist import SENTINEL, IntLinkedList
 from repro.util.rng import make_rng
 from repro.util.validation import (
     check_fraction,
@@ -47,14 +47,6 @@ NOTIFY_PIGGYBACK = "piggyback"
 NOTIFY_IMMEDIATE = "immediate"
 
 
-class _GLRUEntry:
-    __slots__ = ("block", "owner")
-
-    def __init__(self, block: Block, owner: int) -> None:
-        self.block = block
-        self.owner = owner
-
-
 @dataclass
 class _Eviction:
     """A server eviction pending delivery to its owner."""
@@ -64,30 +56,54 @@ class _Eviction:
 
 
 class ULCServer:
-    """Shared server cache driven by client directions (gLRU + owners)."""
+    """Shared server cache driven by client directions (gLRU + owners).
+
+    The gLRU is a slab list (:mod:`repro.util.intlist`): each cached
+    block owns one slot, with the block identity and owner tag held in
+    parallel arrays indexed by that slot — no per-entry objects.
+    """
 
     def __init__(self, capacity: int) -> None:
         check_int("capacity", capacity)
         check_positive("capacity", capacity)
         self.capacity = capacity
-        self._glru: DoublyLinkedList[_GLRUEntry] = DoublyLinkedList()
-        self._nodes: Dict[Block, ListNode[_GLRUEntry]] = {}
+        self._glru = IntLinkedList()
+        self._slots: Dict[Block, int] = {}
+        self._block_at: List[Optional[Block]] = [None]
+        self._owner_at: List[int] = [-1]
         self._pending: Dict[int, List[Block]] = {}
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return len(self._slots)
 
     def __contains__(self, block: Block) -> bool:
-        return block in self._nodes
+        return block in self._slots
 
     @property
     def full(self) -> bool:
-        return len(self._nodes) >= self.capacity
+        return len(self._slots) >= self.capacity
+
+    def _alloc(self, block: Block, owner: int) -> int:
+        slot = self._glru.slab.alloc()
+        if slot == len(self._block_at):
+            self._block_at.append(block)
+            self._owner_at.append(owner)
+        else:
+            self._block_at[slot] = block
+            self._owner_at[slot] = owner
+        self._slots[block] = slot
+        return slot
+
+    def _release_slot(self, slot: int) -> None:
+        block = self._block_at[slot]
+        self._block_at[slot] = None
+        self._glru.slab.free(slot)
+        del self._slots[block]
 
     def owner_of(self, block: Block) -> Optional[int]:
         """Owner tag of a cached block (``None`` if absent)."""
-        node = self._nodes.get(block)
-        return node.value.owner if node is not None else None
+        slot = self._slots.get(block)
+        return self._owner_at[slot] if slot is not None else None
 
     def peek(self, block: Block) -> bool:
         """Serve a block without a caching direction (level-1 tag).
@@ -95,7 +111,7 @@ class ULCServer:
         gLRU order is driven by *caching* requests only, so serving a
         pass-through retrieve does not update recency or ownership.
         """
-        return block in self._nodes
+        return block in self._slots
 
     def want_cached(self, block: Block, owner: int) -> Optional[_Eviction]:
         """Direct the server to cache ``block`` on behalf of ``owner``.
@@ -104,14 +120,31 @@ class ULCServer:
         tag. Returns the eviction this caused, if any (already queued for
         delayed delivery to its owner).
         """
-        node = self._nodes.get(block)
-        if node is not None:
-            node.value.owner = owner
-            self._glru.move_to_front(node)
+        glru = self._glru
+        slot = self._slots.get(block)
+        if slot is not None:
+            # Inline move_to_front (kernel contract; hot path).
+            self._owner_at[slot] = owner
+            prv, nxt = glru.prev, glru.next
+            if nxt[SENTINEL] != slot:
+                p, n = prv[slot], nxt[slot]
+                nxt[p] = n
+                prv[n] = p
+                first = nxt[SENTINEL]
+                prv[slot] = SENTINEL
+                nxt[slot] = first
+                prv[first] = slot
+                nxt[SENTINEL] = slot
             return None
         eviction = self._make_room()
-        entry = _GLRUEntry(block, owner)
-        self._nodes[block] = self._glru.push_front(ListNode(entry))
+        slot = self._alloc(block, owner)
+        prv, nxt = glru.prev, glru.next
+        first = nxt[SENTINEL]
+        prv[slot] = SENTINEL
+        nxt[slot] = first
+        prv[first] = slot
+        nxt[SENTINEL] = slot
+        glru.size += 1
         return eviction
 
     def want_cached_demoted(
@@ -142,43 +175,43 @@ class ULCServer:
         out of the level (and what keeps the single-client gLRU
         identical to the client's ``LRU_2`` stack).
         """
-        node = self._nodes.get(block)
-        if node is not None:
+        slot = self._slots.pop(block, None)
+        if slot is not None:
             # Already present (e.g. a stale shared copy): re-own it and
             # reposition it per the demotion rank.
-            self._glru.remove(node)
-            del self._nodes[block]
-        entry = _GLRUEntry(block, owner)
+            self._glru.remove(slot)
+            self._owner_at[slot] = owner
+            self._slots[block] = slot
+        else:
+            slot = self._alloc(block, owner)
         cold_anchor = (
-            self._nodes.get(colder_neighbour)
+            self._slots.get(colder_neighbour)
             if colder_neighbour is not None
             else None
         )
         warm_anchor = (
-            self._nodes.get(warmer_neighbour)
+            self._slots.get(warmer_neighbour)
             if warmer_neighbour is not None
             else None
         )
-        if cold_anchor is not None:
-            self._nodes[block] = self._glru.insert_before(
-                ListNode(entry), cold_anchor
-            )
-        elif warm_anchor is not None:
-            self._nodes[block] = self._glru.insert_after(
-                ListNode(entry), warm_anchor
-            )
+        if cold_anchor is not None and cold_anchor != slot:
+            self._glru.insert_before(slot, cold_anchor)
+        elif warm_anchor is not None and warm_anchor != slot:
+            self._glru.insert_after(slot, warm_anchor)
         else:
-            self._nodes[block] = self._glru.push_front(ListNode(entry))
-        if len(self._nodes) > self.capacity:
+            self._glru.push_front(slot)
+        if len(self._slots) > self.capacity:
             return self._make_room()
         return None
 
     def _make_room(self) -> Optional[_Eviction]:
         if not self.full:
             return None
-        victim_node = self._glru.pop_back()
-        del self._nodes[victim_node.value.block]
-        eviction = _Eviction(victim_node.value.block, victim_node.value.owner)
+        victim_slot = self._glru.pop_back()
+        eviction = _Eviction(
+            self._block_at[victim_slot], self._owner_at[victim_slot]
+        )
+        self._release_slot(victim_slot)
         self._pending.setdefault(eviction.owner, []).append(eviction.block)
         return eviction
 
@@ -188,11 +221,11 @@ class ULCServer:
         initiated the release. A non-owner release is ignored: another
         client still wants the block at the server. Returns whether the
         block was dropped."""
-        node = self._nodes.get(block)
-        if node is None or node.value.owner != owner:
+        slot = self._slots.get(block)
+        if slot is None or self._owner_at[slot] != owner:
             return False
-        self._glru.remove(node)
-        del self._nodes[block]
+        self._glru.remove(slot)
+        self._release_slot(slot)
         return True
 
     def collect_notices(self, client: int) -> List[Block]:
@@ -201,13 +234,12 @@ class ULCServer:
 
     def resident_blocks(self) -> List[Block]:
         """gLRU contents, MRU first (O(n); tests)."""
-        return [node.value.block for node in self._glru]
+        return [self._block_at[slot] for slot in self._glru]
 
     def share_of(self, client: int) -> int:
         """Number of server buffers currently owned by ``client``."""
-        return sum(
-            1 for node in self._glru if node.value.owner == client
-        )
+        owner_at = self._owner_at
+        return sum(1 for slot in self._glru if owner_at[slot] == client)
 
 
 class ULCMultiClient:
@@ -240,6 +272,10 @@ class ULCMultiClient:
         self._temp: Optional[LRUPolicy] = (
             LRUPolicy(templru_capacity) if templru_capacity > 0 else None
         )
+        # Kernel-caller handles for the fused access path (the stack's
+        # level lists; see the intlist kernel contract).
+        self._l1 = self.stack._levels[0]
+        self._l2 = self.stack._levels[1]
 
     # -- notices -------------------------------------------------------------
 
@@ -263,80 +299,101 @@ class ULCMultiClient:
         """Process one reference by this client.
 
         ``count_notice_messages`` is added to the event's control-message
-        count (used by the immediate-notification ablation).
+        count (used by the immediate-notification ablation). Like
+        :meth:`repro.core.protocol.ULCClient.access`, the whole protocol
+        runs in one fused frame with positional event construction.
         """
-        node = self.stack.lookup(block)
-        in_temp = self._temp is not None and block in self._temp
-        out = self.stack.out_level
+        stack = self.stack
+        server = self.server
+        temp = self._temp
+        client_id = self.client_id
+        l1, l2 = self._l1, self._l2
+        node = stack._nodes.get(block)
+        in_temp = temp is not None and block in temp
+        out = stack.out_level
 
-        demotions: List[Demotion] = []
-        evicted: List[Block] = []
+        demotions: Tuple[Demotion, ...] = ()
 
         if node is None:
             level_status = out
             region = out
         else:
             level_status = node.level
-            region = self.stack.recency_region(node)
+            # Inline recency_region for the two-level case: R_j is the
+            # first level whose yardstick (list tail) is at or below us.
+            node_at = stack._node_at
+            seq = node.seq
+            t1 = l1.prev[SENTINEL]
+            if t1 != SENTINEL and seq >= node_at[t1].seq:
+                region = 1
+            else:
+                t2 = l2.prev[SENTINEL]
+                if t2 != SENTINEL and seq >= node_at[t2].seq:
+                    region = 2
+                else:
+                    region = out
 
         # -- where is the block actually served from? ---------------------
-        if level_status == 1:
+        if in_temp or level_status == 1:
             hit_level: Optional[int] = 1
-        elif level_status == 2 and self.server.peek(block):
+        elif level_status == 2 and block in server:
             hit_level = 2
         else:
             hit_level = None  # disk (includes stale level-2 views)
 
         # -- placement decision (the level tag on the Retrieve) ------------
-        if region == out:
-            placed = self._fill_level()
-        else:
+        if region != out:
             placed = region
+        elif l1.size < self.capacity:  # _fill_level, inlined
+            placed = 1
+        elif l2.size < server.capacity:
+            placed = 2
+        else:
+            placed = None
 
         # -- metadata update ------------------------------------------------
         if node is None:
-            self.stack.insert_new(block, placed if placed is not None else out)
+            stack.insert_new(block, placed if placed is not None else out)
         else:
-            self.stack.touch(node, placed if placed is not None else out)
+            stack.touch(node, placed if placed is not None else out)
 
         # -- server-side effects of the Retrieve tag -----------------------
         if placed == 2:
-            ev = self.server.want_cached(block, self.client_id)
+            ev = server.want_cached(block, client_id)
             if ev is not None:
                 self._handle_own_eviction(ev)
-        elif level_status == 2 and placed != 2:
+        elif level_status == 2:
             # The block leaves the server level per our direction.
-            self.server.release(block, self.client_id)
+            server.release(block, client_id)
 
         # -- make room at the client cache ----------------------------------
-        if placed == 1 and self.stack.level_size(1) > self.capacity:
-            victim = self.stack.demote_tail(1)
-            demotions.append(Demotion(victim.block, 1, 2))
-            colder = self.stack.colder_neighbour(victim)
-            warmer = self.stack.warmer_neighbour(victim)
-            ev = self.server.want_cached_demoted(
+        if placed == 1 and l1.size > self.capacity:
+            victim = stack.demote_tail(1)
+            demotions = (Demotion(victim.block, 1, 2),)
+            colder = stack.colder_neighbour(victim)
+            warmer = stack.warmer_neighbour(victim)
+            ev = server.want_cached_demoted(
                 victim.block,
-                self.client_id,
+                client_id,
                 colder.block if colder is not None else None,
                 warmer.block if warmer is not None else None,
             )
             if ev is not None:
                 self._handle_own_eviction(ev)
 
-        if in_temp:
-            hit_level = 1
-
         event = AccessEvent(
-            block=block,
-            client=self.client_id,
-            hit_level=hit_level,
-            served_from_temp=in_temp,
-            placed_level=placed,
-            demotions=tuple(demotions),
-            evicted=tuple(evicted),
-            control_messages=count_notice_messages,
+            block, client_id, hit_level, in_temp, placed,
+            demotions, (), count_notice_messages,
         )
-        self._maintain_temp(block, event)
+        # Maintain the tempLRU of blocks passing through uncached.
+        if temp is not None:
+            if placed == 1:
+                if in_temp:
+                    temp.remove(block)
+            elif in_temp:
+                temp.touch(block)
+            else:
+                temp.insert(block)
         return event
 
     def _fill_level(self) -> Optional[int]:
@@ -367,18 +424,6 @@ class ULCMultiClient:
             node = self.stack.lookup(pending)
             if node is not None and node.level == 2:
                 self.stack.evict(node)
-
-    def _maintain_temp(self, block: Block, event: AccessEvent) -> None:
-        if self._temp is None:
-            return
-        if event.placed_level == 1:
-            if block in self._temp:
-                self._temp.remove(block)
-            return
-        if block in self._temp:
-            self._temp.touch(block)
-        else:
-            self._temp.insert(block)
 
     def check_invariants(self) -> None:
         """Validate stack invariants (tests).
@@ -428,7 +473,9 @@ class ULCMultiSystem:
         self._loss_rng = (
             make_rng(notice_loss_seed) if notice_loss_rate > 0 else None
         )
+        self._immediate = notify == NOTIFY_IMMEDIATE
         self.server = ULCServer(server_capacity)
+        self._server_pending = self.server._pending
         self.clients = [
             ULCMultiClient(
                 client_id,
@@ -442,20 +489,26 @@ class ULCMultiSystem:
 
     def access(self, client: int, block: Block) -> AccessEvent:
         """Process one reference from ``client``."""
-        if not 0 <= client < len(self.clients):
+        clients = self.clients
+        if not 0 <= client < len(clients):
             raise ConfigurationError(
-                f"client {client} out of range [0, {len(self.clients)})"
+                f"client {client} out of range [0, {len(clients)})"
             )
-        engine = self.clients[client]
-        notices = self.server.collect_notices(client)
-        if self._loss_rng is not None and notices:
-            notices = [
-                n
-                for n in notices
-                if self._loss_rng.random() >= self.notice_loss_rate
-            ]
-        engine.apply_notices(notices)
-        messages = len(notices) if self.notify == NOTIFY_IMMEDIATE else 0
+        engine = clients[client]
+        # Deliver pending notices only when there are any — draining an
+        # empty queue per reference would allocate a list each time.
+        messages = 0
+        if client in self._server_pending:
+            notices = self.server.collect_notices(client)
+            if self._loss_rng is not None and notices:
+                notices = [
+                    n
+                    for n in notices
+                    if self._loss_rng.random() >= self.notice_loss_rate
+                ]
+            engine.apply_notices(notices)
+            if self._immediate:
+                messages = len(notices)
         return engine.access(block, count_notice_messages=messages)
 
     def check_invariants(self) -> None:

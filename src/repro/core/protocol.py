@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.core.events import AccessEvent, Demotion
-from repro.core.stack import StackNode, UniLRUStack
+from repro.core.stack import UniLRUStack
 from repro.errors import ConfigurationError
 from repro.policies.base import Block
 from repro.policies.lru import LRUPolicy
@@ -80,16 +80,86 @@ class ULCClient:
     # -- the protocol ----------------------------------------------------------
 
     def access(self, block: Block, client: int = 0) -> AccessEvent:
-        """Process one reference and return the resulting event."""
-        node = self.stack.lookup(block)
-        in_temp = self._temp is not None and block in self._temp
+        """Process one reference and return the resulting event.
+
+        This is the hottest function in the library: the whole
+        per-reference protocol is fused into one frame with locals bound
+        once, and events are built positionally (field order is part of
+        the :class:`AccessEvent` contract). The logic is exactly the
+        decision rule from the module docstring.
+        """
+        stack = self.stack
+        temp = self._temp
+        node = stack._nodes.get(block)
+        in_temp = temp is not None and block in temp
 
         if node is None:
             event = self._access_untracked(block, client, in_temp)
         else:
-            event = self._access_tracked(node, client, in_temp)
+            out = stack.out_level
+            level_status = node.level  # i
+            region = stack.recency_region(node)  # j
 
-        self._maintain_temp(block, event)
+            # The stack construction guarantees i >= j for cached blocks
+            # (see UniLRUStack docs); for L_out blocks i is out_level.
+            if region == out:
+                # Re-reference of an uncached block whose recency fell
+                # below every yardstick: behave like a fresh L_out block.
+                fill_level = stack.first_unfilled_level()
+                stack.touch(
+                    node, fill_level if fill_level is not None else out
+                )
+                event = AccessEvent(
+                    block, client, 1 if in_temp else None, in_temp, fill_level
+                )
+            elif region == level_status:
+                # i == j: the block stays at its level; no cascade runs
+                # (its own slot absorbs its re-insertion). Hits at the
+                # cached level (or disk for an L_out block — unreachable
+                # here since region < out implies level_status < out).
+                stack.touch(node, region)
+                event = AccessEvent(
+                    block, client, 1 if in_temp else level_status, in_temp,
+                    region,
+                )
+            else:
+                # i > j: move the block up to level j; free one slot
+                # there by demoting yardstick blocks down the chain until
+                # the slot vacated at level i absorbs the cascade.
+                hit_level = 1 if in_temp else (
+                    None if level_status == out else level_status
+                )
+                demotions: List[Demotion] = []
+                evicted: List[Block] = []
+                stack.touch(node, region)
+                level = region
+                num_levels = self.num_levels
+                capacities = self.capacities
+                levels = stack._levels
+                while (
+                    level <= num_levels
+                    and levels[level - 1].size > capacities[level - 1]
+                ):
+                    victim = stack.demote_tail(level)
+                    demotions.append(Demotion(victim.block, level, level + 1))
+                    if victim.level == out:
+                        evicted.append(victim.block)
+                    level += 1
+                event = AccessEvent(
+                    block, client, hit_level, in_temp, region,
+                    tuple(demotions), tuple(evicted),
+                )
+
+        # Maintain the tempLRU holding blocks that pass through the
+        # client without being cached at level 1.
+        if temp is not None:
+            if event.placed_level == 1:
+                if in_temp:
+                    temp.remove(block)
+            elif in_temp:
+                temp.touch(block)
+            else:
+                temp.insert(block)
         return event
 
     def _access_untracked(
@@ -100,103 +170,11 @@ class ULCClient:
         if fill_level is None:
             # All caches full: the block is not cached anywhere.
             self.stack.insert_new(block, self.stack.out_level)
-            return AccessEvent(
-                block=block,
-                client=client,
-                hit_level=1 if in_temp else None,
-                served_from_temp=in_temp,
-                placed_level=None,
-            )
-        self.stack.insert_new(block, fill_level)
-        return AccessEvent(
-            block=block,
-            client=client,
-            hit_level=1 if in_temp else None,
-            served_from_temp=in_temp,
-            placed_level=fill_level,
-        )
-
-    def _access_tracked(
-        self, node: StackNode, client: int, in_temp: bool
-    ) -> AccessEvent:
-        """Reference to a block with a live stack entry."""
-        out = self.stack.out_level
-        level_status = node.level  # i
-        region = self.stack.recency_region(node)  # j
-
-        # The stack construction guarantees i >= j for cached blocks
-        # (see UniLRUStack docs); for L_out blocks i is out_level.
-        new_level = region if region != out else None
-
-        if new_level is None:
-            # Re-reference of an uncached block whose recency fell below
-            # every yardstick: behave like a fresh L_out block.
-            fill_level = self.stack.first_unfilled_level()
-            target = fill_level if fill_level is not None else out
-            self.stack.touch(node, target)
-            return AccessEvent(
-                block=node.block,
-                client=client,
-                hit_level=1 if in_temp else None,
-                served_from_temp=in_temp,
-                placed_level=fill_level,
-            )
-
-        hit_level: Optional[int]
-        if level_status == out:
-            hit_level = None  # retrieved from disk
         else:
-            hit_level = level_status
-
-        demotions: List[Demotion] = []
-        evicted: List[Block] = []
-
-        # Move the entry to the stack top with its new level status. The
-        # departure from level i frees the slot that terminates the
-        # demotion cascade.
-        self.stack.touch(node, new_level)
-
-        # Free space at the target level: demote yardstick blocks down
-        # the chain while any level is over capacity (Retrieve(b, i, j)
-        # with i > j; no cascade runs when i == j).
-        level = new_level
-        while (
-            level <= self.num_levels
-            and self.stack.level_size(level) > self.capacities[level - 1]
-        ):
-            victim = self.stack.demote_tail(level)
-            demotions.append(Demotion(victim.block, level, level + 1))
-            if victim.level == out:
-                evicted.append(victim.block)
-            level += 1
-
-        if in_temp:
-            hit_level = 1
-
+            self.stack.insert_new(block, fill_level)
         return AccessEvent(
-            block=node.block,
-            client=client,
-            hit_level=hit_level,
-            served_from_temp=in_temp,
-            placed_level=new_level,
-            demotions=tuple(demotions),
-            evicted=tuple(evicted),
+            block, client, 1 if in_temp else None, in_temp, fill_level
         )
-
-    def _maintain_temp(self, block: Block, event: AccessEvent) -> None:
-        """Keep the tempLRU holding blocks that pass through the client
-        without being cached at level 1."""
-        if self._temp is None:
-            return
-        if event.placed_level == 1:
-            # Cached at the client proper: no temp copy needed.
-            if block in self._temp:
-                self._temp.remove(block)
-            return
-        if block in self._temp:
-            self._temp.touch(block)
-        else:
-            self._temp.insert(block)
 
     # -- diagnostics ----------------------------------------------------------
 

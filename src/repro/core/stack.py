@@ -41,6 +41,21 @@ Blocks below ``Y_n`` are pruned from the global stack and forgotten
 size plus the transient ``L_out`` region above ``Y_n``; an optional hard
 bound (:attr:`UniLRUStack.max_size`) implements the metadata trimming
 discussed in the paper's Section 5.
+
+Storage layout (the slab kernel)
+--------------------------------
+
+Every tracked block owns one *slot* in a shared
+:class:`~repro.util.intlist.IntSlab`. The global stack and each
+``LRU_i`` are :class:`~repro.util.intlist.IntLinkedList` s over that
+slot space, so one block is linked into two lists through the same
+integer and a reference costs a handful of flat-array writes with zero
+allocation (the previous pointer-object design allocated a fresh list
+node per touch). The :class:`StackNode` handle survives as the public
+face of an entry — it carries ``block``/``level``/``seq`` plus its slot
+— but it no longer owns any link structure. The hot mutators splice the
+``prev``/``next`` arrays inline, per the kernel contract documented in
+:mod:`repro.util.intlist`.
 """
 
 from __future__ import annotations
@@ -49,7 +64,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.policies.base import Block
-from repro.util.linkedlist import DoublyLinkedList, ListNode
+from repro.util.intlist import SENTINEL, UNLINKED, IntLinkedList, IntSlab
 from repro.util.validation import check_int, check_positive
 
 
@@ -57,17 +72,17 @@ class StackNode:
     """Metadata entry for one block.
 
     ``level`` is 1-based; ``stack.out_level`` (``num_levels + 1``) means
-    the block is not cached at any level (``L_out``).
+    the block is not cached at any level (``L_out``). ``slot`` is the
+    entry's slab slot (``-1`` once the entry has been forgotten).
     """
 
-    __slots__ = ("block", "level", "seq", "global_node", "level_node")
+    __slots__ = ("block", "level", "seq", "slot")
 
-    def __init__(self, block: Block, level: int, seq: int) -> None:
+    def __init__(self, block: Block, level: int, seq: int, slot: int) -> None:
         self.block = block
         self.level = level
         self.seq = seq
-        self.global_node: Optional[ListNode["StackNode"]] = None
-        self.level_node: Optional[ListNode["StackNode"]] = None
+        self.slot = slot
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StackNode(block={self.block!r}, L{self.level}, seq={self.seq})"
@@ -105,11 +120,14 @@ class UniLRUStack:
         self.out_level = self.num_levels + 1
         self.max_size = max_size
         self._seq = 0
-        self._global: DoublyLinkedList[StackNode] = DoublyLinkedList()
-        self._levels: List[DoublyLinkedList[StackNode]] = [
-            DoublyLinkedList() for _ in range(self.num_levels)
+        self._slab = IntSlab()
+        self._global = IntLinkedList(self._slab)
+        self._levels: List[IntLinkedList] = [
+            IntLinkedList(self._slab) for _ in range(self.num_levels)
         ]
         self._nodes: Dict[Block, StackNode] = {}
+        # slot -> StackNode (grown with the slab; None for free slots).
+        self._node_at: List[Optional[StackNode]] = [None]
 
     # -- basic queries -----------------------------------------------------
 
@@ -126,11 +144,15 @@ class UniLRUStack:
 
     def level_size(self, level: int) -> int:
         """Number of blocks currently assigned to ``level`` (1-based)."""
-        return len(self._levels[level - 1])
+        return self._levels[level - 1].size
 
     def level_blocks(self, level: int) -> List[Block]:
         """Blocks of one level, most recent first (O(size); for tests)."""
-        return [node.value.block for node in self._levels[level - 1]]
+        node_at = self._node_at
+        return [
+            node_at[slot].block  # type: ignore[union-attr]
+            for slot in self._levels[level - 1]
+        ]
 
     def colder_neighbour(self, node: StackNode) -> Optional[StackNode]:
         """The next-colder block in ``node``'s level list, or ``None``.
@@ -138,22 +160,30 @@ class UniLRUStack:
         Used by the multi-client protocol to tell the server where a
         demoted block ranks among the client's other server blocks.
         """
-        if node.level_node is None:
-            raise ProtocolError(f"block {node.block!r} is not in a level list")
-        neighbour = self._levels[node.level - 1].next_towards_tail(node.level_node)
-        return neighbour.value if neighbour is not None else None
+        lst = self._level_list_of(node)
+        neighbour = lst.next[node.slot]
+        return None if neighbour == SENTINEL else self._node_at[neighbour]
 
     def warmer_neighbour(self, node: StackNode) -> Optional[StackNode]:
         """The next-warmer block in ``node``'s level list, or ``None``."""
-        if node.level_node is None:
+        lst = self._level_list_of(node)
+        neighbour = lst.prev[node.slot]
+        return None if neighbour == SENTINEL else self._node_at[neighbour]
+
+    def _level_list_of(self, node: StackNode) -> IntLinkedList:
+        if node.level == self.out_level or node.slot < 0:
             raise ProtocolError(f"block {node.block!r} is not in a level list")
-        neighbour = self._levels[node.level - 1].next_towards_head(node.level_node)
-        return neighbour.value if neighbour is not None else None
+        lst = self._levels[node.level - 1]
+        if lst.prev[node.slot] == UNLINKED:
+            raise ProtocolError(f"block {node.block!r} is not in a level list")
+        return lst
 
     def yardstick(self, level: int) -> Optional[StackNode]:
         """``Y_level``: the level's maximal-recency block (its victim)."""
-        tail = self._levels[level - 1].tail
-        return tail.value if tail is not None else None
+        lst = self._levels[level - 1]
+        if lst.size == 0:
+            return None
+        return self._node_at[lst.prev[SENTINEL]]
 
     def first_unfilled_level(self) -> Optional[int]:
         """Highest level with spare capacity, or ``None`` when all full.
@@ -162,9 +192,10 @@ class UniLRUStack:
         not full and the levels that are higher than it are full, any
         requested L_out blocks get level status L_i".
         """
-        for level in range(1, self.num_levels + 1):
-            if self.level_size(level) < self.capacities[level - 1]:
-                return level
+        capacities = self.capacities
+        for index, lst in enumerate(self._levels):
+            if lst.size < capacities[index]:
+                return index + 1
         return None
 
     def recency_region(self, node: StackNode) -> int:
@@ -174,10 +205,14 @@ class UniLRUStack:
         ``Y_{j-1}`` and ``Y_j``; computed as the smallest ``j`` whose
         yardstick is at or below the node.
         """
-        for level in range(1, self.num_levels + 1):
-            mark = self.yardstick(level)
-            if mark is not None and node.seq >= mark.seq:
+        seq = node.seq
+        node_at = self._node_at
+        level = 1
+        for lst in self._levels:
+            tail = lst.prev[SENTINEL]
+            if tail != SENTINEL and seq >= node_at[tail].seq:  # type: ignore[union-attr]
                 return level
+            level += 1
         return self.out_level
 
     # -- mutations -----------------------------------------------------------
@@ -186,20 +221,49 @@ class UniLRUStack:
         self._seq += 1
         return self._seq
 
+    def _alloc(self, node: StackNode) -> int:
+        slot = self._slab.alloc()
+        node_at = self._node_at
+        if slot == len(node_at):
+            node_at.append(node)
+        else:
+            node_at[slot] = node
+        node.slot = slot
+        return slot
+
     def insert_new(self, block: Block, level: int) -> StackNode:
         """Track a block seen for the first time (or after pruning).
 
         The node enters at the stack top with the given level status
-        (``out_level`` allowed).
+        (``out_level`` allowed). Miss-heavy workloads hit this as often
+        as :meth:`touch`, so the two list pushes are inlined splices.
         """
-        if block in self._nodes:
+        nodes = self._nodes
+        if block in nodes:
             raise ProtocolError(f"block {block!r} is already tracked")
-        node = StackNode(block, level, self._next_seq())
-        node.global_node = self._global.push_front(ListNode(node))
+        self._seq += 1
+        node = StackNode(block, level, self._seq, -1)
+        slot = self._alloc(node)
+        glob = self._global
+        gp, gn = glob.prev, glob.next
+        first = gn[SENTINEL]
+        gp[slot] = SENTINEL
+        gn[slot] = first
+        gp[first] = slot
+        gn[SENTINEL] = slot
+        glob.size += 1
         if level != self.out_level:
-            node.level_node = self._levels[level - 1].push_front(ListNode(node))
-        self._nodes[block] = node
-        self._enforce_max_size()
+            lst = self._levels[level - 1]
+            lp, ln = lst.prev, lst.next
+            first = ln[SENTINEL]
+            lp[slot] = SENTINEL
+            ln[slot] = first
+            lp[first] = slot
+            ln[SENTINEL] = slot
+            lst.size += 1
+        nodes[block] = node
+        if self.max_size is not None:
+            self._enforce_max_size()
         return node
 
     def touch(self, node: StackNode, new_level: int) -> None:
@@ -208,28 +272,62 @@ class UniLRUStack:
         This is the metadata effect of a reference: recency becomes the
         smallest (status ``R_1``) and the level status is re-ranked to
         ``new_level`` (the block's recency region at access time, per the
-        LLD rule).
+        LLD rule). The splices below are the inlined kernel form of
+        ``move_to_front`` + ``remove`` + ``push_front`` — this is the
+        hottest mutator in the library.
         """
-        if node.global_node is None:
+        slot = node.slot
+        if slot < 0:
             raise ProtocolError(
                 f"stack entry for {node.block!r} lost its global-list node"
             )
-        self._global.move_to_front(node.global_node)
-        node.seq = self._next_seq()
-        self._level_unlink(node)
+        out = self.out_level
+        glob = self._global
+        gp, gn = glob.prev, glob.next
+        if gn[SENTINEL] != slot:  # move to the global front
+            p, n = gp[slot], gn[slot]
+            gn[p] = n
+            gp[n] = p
+            first = gn[SENTINEL]
+            gp[slot] = SENTINEL
+            gn[slot] = first
+            gp[first] = slot
+            gn[SENTINEL] = slot
+        self._seq += 1
+        node.seq = self._seq
+        old_level = node.level
+        if old_level != out:  # unlink from the old level list
+            lst = self._levels[old_level - 1]
+            lp, ln = lst.prev, lst.next
+            p, n = lp[slot], ln[slot]
+            ln[p] = n
+            lp[n] = p
+            lp[slot] = UNLINKED
+            ln[slot] = UNLINKED
+            lst.size -= 1
         node.level = new_level
-        if new_level != self.out_level:
-            node.level_node = self._levels[new_level - 1].push_front(
-                ListNode(node)
-            )
+        if new_level != out:  # push onto the new level's front
+            lst = self._levels[new_level - 1]
+            lp, ln = lst.prev, lst.next
+            first = ln[SENTINEL]
+            lp[slot] = SENTINEL
+            ln[slot] = first
+            lp[first] = slot
+            ln[SENTINEL] = slot
+            lst.size += 1
         # The node's departure from its old position may have exposed
         # L_out entries at the stack bottom (below the last yardstick).
-        self.prune()
+        tail = gp[SENTINEL]
+        if tail != SENTINEL:
+            bottom = self._node_at[tail]
+            if bottom is not None and bottom.level == out:
+                self.prune()
 
     def _level_unlink(self, node: StackNode) -> None:
-        if node.level_node is not None:
-            self._levels[node.level - 1].remove(node.level_node)
-            node.level_node = None
+        if node.level != self.out_level and node.slot >= 0:
+            lst = self._levels[node.level - 1]
+            if lst.prev[node.slot] != UNLINKED:
+                lst.remove(node.slot)
 
     def demote_tail(self, level: int) -> StackNode:
         """Demote ``Y_level``'s block one level down; returns its node.
@@ -243,7 +341,7 @@ class UniLRUStack:
         victim = self.yardstick(level)
         if victim is None:
             raise ProtocolError(f"demote_tail on empty level {level}")
-        self._level_unlink(victim)
+        self._levels[level - 1].remove(victim.slot)
         if level >= self.num_levels:
             victim.level = self.out_level
             self.prune()
@@ -253,16 +351,31 @@ class UniLRUStack:
         return victim
 
     def _insert_sorted(self, node: StackNode, level: int) -> None:
-        """Insert into ``LRU_level`` keeping descending sequence order,
-        scanning from the tail (demoted nodes are usually the coldest)."""
+        """Insert into ``LRU_level`` keeping descending sequence order.
+
+        This is the paper's *DemotionSearching*, implemented literally:
+        the node already sits in the global stack at its recency
+        position, and a level list is the subsequence of the global
+        stack restricted to that level (both strictly descend by seq).
+        So the node's level-list successor is simply the first
+        level-``level`` node found walking the *global* list tailwards
+        from the node itself — the paper's "searches in the direction
+        towards the stack bottom ... for the next block with a higher
+        level status". The walk is O(gap to that neighbour), typically a
+        handful of steps, where a scan of the level list itself from
+        either end is O(level size).
+        """
         target = self._levels[level - 1]
-        anchor = target.tail
-        while anchor is not None and anchor.value.seq < node.seq:
-            anchor = target.next_towards_head(anchor)
-        if anchor is None:
-            node.level_node = target.push_front(ListNode(node))
-        else:
-            node.level_node = target.insert_after(ListNode(node), anchor)
+        node_at = self._node_at
+        gnext = self._global.next
+        cursor = gnext[node.slot]
+        while cursor != SENTINEL:
+            other = node_at[cursor]
+            if other is not None and other.level == level:
+                target.insert_before(node.slot, cursor)
+                return
+            cursor = gnext[cursor]
+        target.push_back(node.slot)
 
     def relocate(self, node: StackNode, new_level: int) -> None:
         """Move a node to another level *without* changing its recency.
@@ -295,9 +408,12 @@ class UniLRUStack:
     def forget(self, node: StackNode) -> None:
         """Drop a node from the stack entirely."""
         self._level_unlink(node)
-        if node.global_node is not None:
-            self._global.remove(node.global_node)
-            node.global_node = None
+        if node.slot >= 0:
+            if self._global.prev[node.slot] != UNLINKED:
+                self._global.remove(node.slot)
+            self._node_at[node.slot] = None
+            self._slab.free(node.slot)
+            node.slot = -1
         del self._nodes[node.block]
 
     def prune(self) -> int:
@@ -309,13 +425,17 @@ class UniLRUStack:
         number of entries removed.
         """
         removed = 0
-        while self._global:
-            tail = self._global.tail
-            if tail is None:
+        glob = self._global
+        node_at = self._node_at
+        out = self.out_level
+        while glob.size:
+            tail = glob.prev[SENTINEL]
+            node = node_at[tail]
+            if node is None:
                 raise ProtocolError("non-empty uniLRU stack has no tail")
-            if tail.value.level != self.out_level:
+            if node.level != out:
                 break
-            self.forget(tail.value)
+            self.forget(node)
             removed += 1
         return removed
 
@@ -331,23 +451,31 @@ class UniLRUStack:
         """
         if self.max_size is None or len(self._nodes) <= self.max_size:
             return
-        for global_node in self._global.iter_reverse():
+        node_at = self._node_at
+        for slot in self._global.iter_reverse():
             if len(self._nodes) <= self.max_size:
                 break
-            if global_node.value.level == self.out_level:
-                self.forget(global_node.value)
+            node = node_at[slot]
+            if node is not None and node.level == self.out_level:
+                self.forget(node)
 
     # -- diagnostics ----------------------------------------------------------
 
     def stack_blocks(self) -> List[Block]:
         """Global stack contents, top first (O(n); tests/debugging)."""
-        return [node.value.block for node in self._global]
+        node_at = self._node_at
+        return [
+            node_at[slot].block  # type: ignore[union-attr]
+            for slot in self._global
+        ]
 
     def check_invariants(self, enforce_capacity: bool = True) -> None:
         """Validate all structural invariants; raises ProtocolError.
 
         Used heavily by the property tests. Checks:
 
+        - the slab and every link array are internally consistent
+          (symmetric links, one chain, sizes match),
         - per-level lists are in strictly descending sequence order,
         - level sizes never exceed capacities (skippable for elastic
           levels, e.g. a multi-client view of a shared server),
@@ -357,10 +485,20 @@ class UniLRUStack:
           not possible"),
         - the stack bottom is a cached block (post-prune).
         """
+        self._slab.check_invariants()
+        self._global.check_invariants()
+        for lst in self._levels:
+            lst.check_invariants()
+
+        node_at = self._node_at
         seen = 0
         previous_seq = None
-        for global_node in self._global:
-            node = global_node.value
+        for slot in self._global:
+            node = node_at[slot]
+            if node is None or node.slot != slot:
+                raise ProtocolError(
+                    f"slot {slot} in the global stack has no live node"
+                )
             if previous_seq is not None and node.seq >= previous_seq:
                 raise ProtocolError("global stack out of sequence order")
             previous_seq = node.seq
@@ -375,18 +513,26 @@ class UniLRUStack:
             ):
                 raise ProtocolError(f"level {level} exceeds its capacity")
             previous_seq = None
-            for level_node in self._levels[level - 1]:
-                node = level_node.value
-                if node.level != level:
+            for slot in self._levels[level - 1]:
+                node = node_at[slot]
+                if node is None or node.level != level:
+                    got = None if node is None else node.level
                     raise ProtocolError(
-                        f"node {node.block!r} in level list {level} has "
-                        f"level status {node.level}"
+                        f"slot {slot} in level list {level} has "
+                        f"level status {got}"
                     )
                 if previous_seq is not None and node.seq >= previous_seq:
                     raise ProtocolError(f"level {level} list out of order")
                 previous_seq = node.seq
 
         for node in self._nodes.values():
+            if node.level != self.out_level:
+                lst = self._levels[node.level - 1]
+                if node.slot < 0 or lst.prev[node.slot] == UNLINKED:
+                    raise ProtocolError(
+                        f"cached node {node.block!r} missing from its "
+                        f"level list"
+                    )
             region = self.recency_region(node)
             if node.level != self.out_level and region > node.level:
                 raise ProtocolError(
@@ -394,6 +540,7 @@ class UniLRUStack:
                     f"level status L_{node.level}"
                 )
 
-        bottom = self._global.tail
-        if bottom is not None and bottom.value.level == self.out_level:
-            raise ProtocolError("stack bottom is an un-pruned L_out entry")
+        if self._global.size:
+            bottom = node_at[self._global.prev[SENTINEL]]
+            if bottom is not None and bottom.level == self.out_level:
+                raise ProtocolError("stack bottom is an un-pruned L_out entry")

@@ -538,15 +538,19 @@ def run_locality_filtering(
 
     def hit_rate(policy_name: str, stream) -> float:
         policy = make_policy(policy_name, capacity)
-        blocks = stream.blocks.tolist()
-        if not blocks:
+        blocks = memoryview(stream.blocks)
+        n = len(blocks)
+        if not n:
             return 0.0
-        warm = len(blocks) // 10
+        warm = n // 10
         hits = 0
-        for index, block in enumerate(blocks):
-            if policy.access(block).hit and index >= warm:
+        access = policy.access
+        for block in blocks[:warm]:
+            access(block)
+        for block in blocks[warm:]:
+            if access(block).hit:
                 hits += 1
-        return hits / max(1, len(blocks) - warm)
+        return hits / max(1, n - warm)
 
     rows: List[List[object]] = [
         ["stream reuse fraction", report["reuse_fraction_before"],

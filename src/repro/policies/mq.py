@@ -27,18 +27,19 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.errors import ProtocolError
 from repro.policies.base import Block, ReplacementPolicy
-from repro.util.linkedlist import DoublyLinkedList, ListNode
+from repro.util.intlist import SENTINEL, IntLinkedList, IntSlab
 from repro.util.validation import check_int, check_non_negative, check_positive
 
 
 class _MQEntry:
-    __slots__ = ("block", "frequency", "expire_time", "queue_index")
+    __slots__ = ("block", "frequency", "expire_time", "queue_index", "slot")
 
     def __init__(self, block: Block, frequency: int) -> None:
         self.block = block
         self.frequency = frequency
         self.expire_time = 0
         self.queue_index = 0
+        self.slot = -1
 
 
 class MQPolicy(ReplacementPolicy):
@@ -74,10 +75,14 @@ class MQPolicy(ReplacementPolicy):
             ghost_capacity if ghost_capacity is not None else 4 * capacity
         )
         check_non_negative("ghost_capacity", self.ghost_capacity)
-        self._queues: List[DoublyLinkedList[_MQEntry]] = [
-            DoublyLinkedList() for _ in range(num_queues)
+        # All queues share one slab: a resident block owns one slot and
+        # queue demotion is a pure relink of that slot.
+        self._slab = IntSlab()
+        self._queues: List[IntLinkedList] = [
+            IntLinkedList(self._slab) for _ in range(num_queues)
         ]
-        self._nodes: Dict[Block, ListNode[_MQEntry]] = {}
+        self._entries: Dict[Block, _MQEntry] = {}
+        self._entry_at: List[Optional[_MQEntry]] = [None]
         # Qout: block -> frequency at eviction, FIFO order preserved.
         self._ghost: "OrderedDict[Block, int]" = OrderedDict()
         self._time = 0
@@ -91,32 +96,42 @@ class MQPolicy(ReplacementPolicy):
     def _enqueue(self, entry: _MQEntry) -> None:
         entry.queue_index = self._queue_for(entry.frequency)
         entry.expire_time = self._time + self.life_time
-        self._nodes[entry.block] = self._queues[entry.queue_index].push_front(
-            ListNode(entry)
-        )
+        if entry.slot < 0:
+            slot = self._slab.alloc()
+            if slot == len(self._entry_at):
+                self._entry_at.append(entry)
+            else:
+                self._entry_at[slot] = entry
+            entry.slot = slot
+        self._queues[entry.queue_index].push_front(entry.slot)
+        self._entries[entry.block] = entry
 
     def _dequeue(self, block: Block) -> _MQEntry:
-        node = self._nodes.pop(block)
-        self._queues[node.value.queue_index].remove(node)
-        return node.value
+        entry = self._entries.pop(block)
+        self._queues[entry.queue_index].remove(entry.slot)
+        self._entry_at[entry.slot] = None
+        self._slab.free(entry.slot)
+        entry.slot = -1
+        return entry
 
     def _adjust(self) -> None:
         """Demote expired LRU blocks one queue down (Zhou's Adjust())."""
+        time = self._time
+        entry_at = self._entry_at
         for index in range(1, self.num_queues):
             queue = self._queues[index]
-            while queue:
-                tail = queue.tail
-                if tail is None:
+            lower = self._queues[index - 1]
+            while queue.size:
+                tail = queue.prev[SENTINEL]
+                entry = entry_at[tail]
+                if entry is None:
                     raise ProtocolError("non-empty MQ queue has no tail")
-                entry = tail.value
-                if entry.expire_time >= self._time:
+                if entry.expire_time >= time:
                     break
                 queue.remove(tail)
                 entry.queue_index = index - 1
-                entry.expire_time = self._time + self.life_time
-                self._nodes[entry.block] = self._queues[index - 1].push_front(
-                    ListNode(entry)
-                )
+                entry.expire_time = time + self.life_time
+                lower.push_front(tail)
 
     def _remember_ghost(self, block: Block, frequency: int) -> None:
         if self.ghost_capacity == 0:
@@ -129,10 +144,10 @@ class MQPolicy(ReplacementPolicy):
     # -- ReplacementPolicy interface ----------------------------------------
 
     def __contains__(self, block: Block) -> bool:
-        return block in self._nodes
+        return block in self._entries
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return len(self._entries)
 
     def touch(self, block: Block) -> None:
         self._require_resident(block)
@@ -164,29 +179,33 @@ class MQPolicy(ReplacementPolicy):
         self._dequeue(block)
 
     def victim(self) -> Optional[Block]:
-        if not self.full or not self._nodes:
+        if not self.full or not self._entries:
             return None
         for queue in self._queues:
-            if queue:
-                return queue.tail.value.block  # type: ignore[union-attr]
+            if queue.size:
+                entry = self._entry_at[queue.prev[SENTINEL]]
+                return None if entry is None else entry.block
         return None  # pragma: no cover - unreachable
 
     def resident(self) -> Iterator[Block]:
+        entry_at = self._entry_at
         for queue in self._queues:
-            for node in queue:
-                yield node.value.block
+            for slot in queue:
+                entry = entry_at[slot]
+                if entry is not None:
+                    yield entry.block
 
     # -- introspection for tests ---------------------------------------------
 
     def queue_of(self, block: Block) -> int:
         """Queue index a resident block currently sits in."""
         self._require_resident(block)
-        return self._nodes[block].value.queue_index
+        return self._entries[block].queue_index
 
     def frequency_of(self, block: Block) -> int:
         """Reference count of a resident block."""
         self._require_resident(block)
-        return self._nodes[block].value.frequency
+        return self._entries[block].frequency
 
     def in_ghost(self, block: Block) -> bool:
         """Whether Qout currently remembers ``block``."""

@@ -16,18 +16,36 @@ O(log n) amortised per reference.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.errors import ProtocolError
 from repro.policies.base import Block, ReplacementPolicy
+from repro.workloads.base import NO_NEXT, Trace
 
 #: Next-use value for blocks never referenced again.
 NEVER = float("inf")
 
 
+def _next_use_from_next_ref(next_ref: np.ndarray) -> List[float]:
+    out = next_ref.astype(np.float64)
+    out[next_ref == NO_NEXT] = NEVER
+    return out.tolist()
+
+
 def compute_next_use(trace: Sequence[Block]) -> List[float]:
     """For each position ``t``, the index of the next reference to
-    ``trace[t]`` after ``t`` (or :data:`NEVER`)."""
+    ``trace[t]`` after ``t`` (or :data:`NEVER`).
+
+    NumPy inputs use the vectorised next-reference construction (see
+    :class:`repro.workloads.base.TracePreprocess`); other sequences fall
+    back to the reverse Python pass.
+    """
+    if isinstance(trace, np.ndarray):
+        from repro.core.measures import next_reference_times
+
+        return _next_use_from_next_ref(next_reference_times(trace))
     next_use: List[float] = [NEVER] * len(trace)
     last_seen: Dict[Block, int] = {}
     for t in range(len(trace) - 1, -1, -1):
@@ -47,10 +65,23 @@ class OPTPolicy(ReplacementPolicy):
 
     name = "opt"
 
-    def __init__(self, capacity: int, trace: Sequence[Block]) -> None:
+    def __init__(
+        self, capacity: int, trace: Union[Trace, Sequence[Block]]
+    ) -> None:
         super().__init__(capacity)
-        self._trace = list(trace)
-        self._next_use_at = compute_next_use(self._trace)
+        if isinstance(trace, Trace):
+            # Draw the next-use table from the trace's shared preprocess
+            # cache instead of an extra Python pass.
+            self._trace: Sequence[Block] = trace.blocks.tolist()
+            self._next_use_at = _next_use_from_next_ref(
+                trace.preprocess().next_ref
+            )
+        elif isinstance(trace, np.ndarray):
+            self._trace = trace.tolist()
+            self._next_use_at = compute_next_use(trace)
+        else:
+            self._trace = list(trace)
+            self._next_use_at = compute_next_use(self._trace)
         self._clock = 0
         # Dict-as-ordered-set: iteration follows insertion order, so
         # `resident()` is deterministic (a bare set would not be).

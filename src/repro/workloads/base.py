@@ -38,6 +38,53 @@ class TraceInfo:
     seed: Optional[int] = None
 
 
+#: Marker for "no next reference" in :attr:`TracePreprocess.next_ref`
+#: (same convention as :data:`repro.core.measures.NO_VALUE`).
+NO_NEXT = -1
+
+
+class TracePreprocess:
+    """One-pass derived data shared by every consumer of a trace.
+
+    The measure analysis, OPT's next-use table and the trace statistics
+    all need the same two preprocessing products; computing them once per
+    trace (vectorised, cached on the :class:`Trace`) replaces per-
+    consumer Python passes (cf. the miss-ratio-curve survey,
+    arXiv:1804.01972, on sharing one reuse-distance pass).
+
+    Attributes:
+        unique_blocks: sorted distinct block ids (int64). The *dense id*
+            of a block is its index in this array — the interning
+            contract: dense ids are contiguous ``0..n_unique-1``,
+            assigned in sorted block-id order, so any consumer can size
+            flat arrays by ``len(unique_blocks)`` and index them by
+            dense id.
+        dense_ids: per-reference dense block id (int64, same length as
+            the trace).
+        next_ref: per-reference position of the *next* reference to the
+            same block, :data:`NO_NEXT` when there is none (int64).
+    """
+
+    __slots__ = ("unique_blocks", "dense_ids", "next_ref")
+
+    def __init__(self, blocks: np.ndarray) -> None:
+        self.unique_blocks, dense = np.unique(blocks, return_inverse=True)
+        dense = dense.astype(np.int64, copy=False)
+        n = len(dense)
+        # Next-reference times in O(n log n), vectorised: stable-sort
+        # positions by block id; within each equal-id run, each position's
+        # successor is its next reference.
+        nxt = np.full(n, NO_NEXT, dtype=np.int64)
+        if n:
+            order = np.argsort(dense, kind="stable")
+            same = dense[order[:-1]] == dense[order[1:]]
+            nxt[order[:-1][same]] = order[1:][same]
+        for arr in (self.unique_blocks, dense, nxt):
+            arr.setflags(write=False)
+        self.dense_ids = dense
+        self.next_ref = nxt
+
+
 class Trace:
     """An immutable, column-stored reference stream.
 
@@ -68,6 +115,8 @@ class Trace:
         self._blocks.setflags(write=False)
         self._clients.setflags(write=False)
         self.info = info or TraceInfo()
+        self._preprocess: Optional[TracePreprocess] = None
+        self._num_unique: Optional[int] = None
 
     # -- container protocol --------------------------------------------------
 
@@ -75,7 +124,11 @@ class Trace:
         return len(self._blocks)
 
     def __iter__(self) -> Iterator[Request]:
-        for client, block in zip(self._clients.tolist(), self._blocks.tolist()):
+        # memoryview iteration yields plain Python ints without
+        # materialising list copies of the columns.
+        for client, block in zip(
+            memoryview(self._clients), memoryview(self._blocks)
+        ):
             yield Request(client, block)
 
     def __getitem__(self, index: int) -> Request:
@@ -110,8 +163,28 @@ class Trace:
 
     @property
     def num_unique_blocks(self) -> int:
-        """Number of distinct blocks referenced."""
-        return int(np.unique(self._blocks).size) if len(self) else 0
+        """Number of distinct blocks referenced (computed once, cached)."""
+        if self._num_unique is None:
+            if self._preprocess is not None:
+                self._num_unique = len(self._preprocess.unique_blocks)
+            else:
+                self._num_unique = (
+                    int(np.unique(self._blocks).size) if len(self) else 0
+                )
+        return self._num_unique
+
+    def preprocess(self) -> TracePreprocess:
+        """The trace's shared :class:`TracePreprocess` (computed once).
+
+        Consumers needing dense block ids or next-reference times
+        (:mod:`repro.analysis.locality`, :mod:`repro.policies.opt`,
+        :mod:`repro.core.measures` callers) should draw them from here
+        rather than recomputing per consumer.
+        """
+        if self._preprocess is None:
+            self._preprocess = TracePreprocess(self._blocks)
+            self._num_unique = len(self._preprocess.unique_blocks)
+        return self._preprocess
 
     # -- transformations --------------------------------------------------------
 
@@ -179,9 +252,10 @@ class Trace:
         ]
         order = np.concatenate(tags)
         rng.shuffle(order)
-        cursors = [0] * len(streams)
         blocks = np.empty(sum(len(s) for s in streams), dtype=np.int64)
-        for position, client in enumerate(order.tolist()):
-            blocks[position] = streams[client][cursors[client]]
-            cursors[client] += 1
+        # The positions tagged with client k consume stream k in order:
+        # one vectorised scatter per stream replaces the per-reference
+        # cursor loop, with an identical result.
+        for client, stream in enumerate(streams):
+            blocks[order == client] = stream
         return Trace(blocks, order, info)

@@ -77,7 +77,9 @@ def httpd_like(
         moved = rng.choice(hot, size=max(1, int(hot * drift_fraction)),
                            replace=False)
         targets = rng.choice(universe, size=len(moved), replace=False)
-        for rank_index, target_index in zip(moved.tolist(), targets.tolist()):
+        for rank_index, target_index in zip(
+            memoryview(moved), memoryview(targets)
+        ):
             mapping[rank_index], mapping[target_index] = (
                 mapping[target_index],
                 mapping[rank_index],
@@ -244,10 +246,10 @@ def db2_like(
         )
         rng.shuffle(tags)
         merged = np.empty(len(tags), dtype=np.int64)
-        cursors = [0, 0, 0, 0]
-        for position, tag in enumerate(tags.tolist()):
-            merged[position] = sources[tag][cursors[tag]]
-            cursors[tag] += 1
+        # The positions tagged k consume source k in order, so the whole
+        # merge is one vectorised scatter per source.
+        for k, source in enumerate(sources):
+            merged[tags == k] = source
         streams.append(merged)
     rng = make_rng(derive_seed(seed, "interleave"))
     info = TraceInfo(

@@ -42,7 +42,7 @@ def reuse_distances(trace: Trace) -> np.ndarray:
     tree = FenwickTree(n)
     last_slot: Dict[int, int] = {}
     distances: List[int] = []
-    for t, block in enumerate(blocks.tolist()):
+    for t, block in enumerate(memoryview(blocks)):
         slot = last_slot.get(block)
         if slot is not None:
             # Distinct blocks accessed after `slot` = live slots in (slot, t).

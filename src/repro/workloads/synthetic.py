@@ -234,12 +234,14 @@ def interleaved_trace(
     rng = make_rng(seed)
     length = sum(len(c) for c in components)
     choices = rng.choice(len(components), size=length, p=probabilities)
-    cursors = [0] * len(components)
     blocks = np.empty(length, dtype=np.int64)
-    for position, component in enumerate(choices.tolist()):
-        stream = components[component].blocks
-        blocks[position] = stream[cursors[component] % len(stream)]
-        cursors[component] += 1
+    # The positions choosing component k consume its stream in order
+    # (wrapping when the draws outnumber the stream): one vectorised
+    # gather/scatter per component, identical to the cursor loop.
+    for k, component in enumerate(components):
+        stream = component.blocks
+        positions = np.nonzero(choices == k)[0]
+        blocks[positions] = stream[np.arange(len(positions)) % len(stream)]
     return Trace(
         blocks,
         None,
