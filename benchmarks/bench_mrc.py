@@ -1,0 +1,52 @@
+"""Single-pass miss-ratio-curve sweeps vs point-by-point simulation.
+
+Documents the tentpole speedup claim: a 16-point uniLRU server-size
+sweep derived from one Mattson stack-distance pass
+(:mod:`repro.analysis.mrc`) must beat simulating all 16 points by at
+least 5x wall time — the results are bit-identical either way (see
+``tests/analysis/test_mrc.py``). Scenario parameters mirror the
+headless ``repro bench`` suite (:mod:`repro.bench`) so the two
+harnesses measure the same thing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.mrc import stack_distances
+from repro.bench import SWEEP_CLIENT_BLOCKS, SWEEP_SIZES
+from repro.runner.spec import SchemeSpec
+from repro.sim import paper_two_level
+from repro.sim.sweep import sweep_server_size
+from repro.workloads import zipf_trace
+
+NUM_REFS = 20_000
+
+
+def _sweep(trace, use_mrc):
+    sweep_server_size(
+        {"uniLRU": SchemeSpec("unilru")},
+        trace,
+        SWEEP_CLIENT_BLOCKS,
+        list(SWEEP_SIZES),
+        paper_two_level(),
+        use_mrc=use_mrc,
+    )
+
+
+def bench_sweep16_point_simulation(benchmark):
+    """16 server sizes, each simulated independently (the old path)."""
+    trace = zipf_trace(8192, NUM_REFS, seed=3)
+    benchmark.pedantic(_sweep, args=(trace, False), rounds=3, iterations=1)
+
+
+def bench_sweep16_mrc_derived(benchmark):
+    """The same 16 points derived from one stack-distance pass."""
+    trace = zipf_trace(8192, NUM_REFS, seed=3)
+    benchmark.pedantic(_sweep, args=(trace, None), rounds=3, iterations=1)
+
+
+def bench_stack_distance_pass(benchmark):
+    """Raw profiling-pass throughput (the Fenwick-tree kernel)."""
+    trace = zipf_trace(8192, NUM_REFS, seed=3)
+    benchmark.pedantic(
+        stack_distances, args=(trace.blocks,), rounds=3, iterations=1
+    )

@@ -5,6 +5,17 @@ from repro.analysis.locality import (
     LocalityAnalysis,
     analyze_measures,
 )
+from repro.analysis.mrc import (
+    COLD_DISTANCE,
+    MRC_SCHEMES,
+    MissRatioCurve,
+    StackDistanceProfile,
+    che_mrc,
+    derive_sweep_results,
+    mrc_for_trace,
+    stack_distances,
+    supports_scheme,
+)
 from repro.analysis.ordered_list import MeasureReport, OrderedListTracker
 from repro.analysis.placement import (
     PlacementStats,
@@ -22,8 +33,17 @@ from repro.analysis.report import (
 
 __all__ = [
     "ALL_MEASURES",
+    "COLD_DISTANCE",
+    "MRC_SCHEMES",
+    "MissRatioCurve",
+    "StackDistanceProfile",
     "LocalityAnalysis",
     "analyze_measures",
+    "che_mrc",
+    "derive_sweep_results",
+    "mrc_for_trace",
+    "stack_distances",
+    "supports_scheme",
     "MeasureReport",
     "OrderedListTracker",
     "PlacementStats",

@@ -72,6 +72,35 @@ def _drive_multi(refs: Refs) -> None:
         index += 1
 
 
+#: Server sizes of the sweep-speedup scenarios: 16 points, the scale the
+#: tentpole's ≥5x acceptance criterion is measured at.
+SWEEP_SIZES = tuple(128 * (i + 1) for i in range(16))
+SWEEP_CLIENT_BLOCKS = 256
+
+
+def _drive_sweep(trace, use_mrc: Optional[bool]) -> None:
+    """A 16-point uniLRU server-size sweep, point-simulated or derived
+    from one MRC pass — the pair documents the single-pass speedup."""
+    from repro.runner.spec import SchemeSpec
+    from repro.sim import paper_two_level
+    from repro.sim.sweep import sweep_server_size
+
+    sweep_server_size(
+        {"uniLRU": SchemeSpec("unilru")},
+        trace,
+        SWEEP_CLIENT_BLOCKS,
+        list(SWEEP_SIZES),
+        paper_two_level(),
+        use_mrc=use_mrc,
+    )
+
+
+def _drive_profile(trace) -> None:
+    from repro.analysis.mrc import stack_distances
+
+    stack_distances(trace.blocks)
+
+
 def _scenarios(num_refs: int) -> List[Tuple[str, Callable[[], None]]]:
     """Build the benchmark scenarios with their traces pre-materialised."""
     scenarios: List[Tuple[str, Callable[[], None]]] = []
@@ -88,6 +117,16 @@ def _scenarios(num_refs: int) -> List[Tuple[str, Callable[[], None]]]:
     multi_refs = memoryview(zipf_trace(8192, num_refs, seed=2).blocks)
     scenarios.append(
         ("multi_client_throughput", lambda: _drive_multi(multi_refs))
+    )
+    sweep_trace = zipf_trace(8192, num_refs, seed=3)
+    scenarios.append(
+        ("sweep16_point[unilru]", lambda: _drive_sweep(sweep_trace, False))
+    )
+    scenarios.append(
+        ("sweep16_mrc[unilru]", lambda: _drive_sweep(sweep_trace, None))
+    )
+    scenarios.append(
+        ("mrc_stack_distances", lambda: _drive_profile(sweep_trace))
     )
     return scenarios
 

@@ -27,6 +27,11 @@ Usage::
     python -m repro bench [--smoke] [--threshold 0.30] \\
         [--output BENCH_core_ops.json] [--baseline previous.json]
 
+    # exact single-pass LRU miss-ratio curve of a trace (optionally with
+    # the Che/Fagin closed-form estimate alongside)
+    python -m repro mrc --workload zipf --refs 200000 --che
+    python -m repro mrc --trace my_trace.txt --capacities 64 256 1024
+
     # simulator-aware static analysis (lint) over the source tree
     python -m repro check [PATH ...defaults to the installed package]
     python -m repro check src/repro --format json
@@ -61,7 +66,7 @@ from repro.experiments import (
 
 EXPERIMENTS = ("figure2", "figure3", "table1", "figure6", "figure7",
                "ablations", "all", "workloads", "simulate", "classify",
-               "experiment", "check", "bench")
+               "experiment", "check", "bench", "mrc")
 
 #: Experiments the generic ``experiment`` command can target.
 EXPERIMENT_TARGETS = ("figure2", "figure3", "table1", "figure6", "figure7",
@@ -115,6 +120,58 @@ def _run_bench(args: argparse.Namespace) -> int:
         smoke=args.smoke,
         rounds=args.rounds,
     )
+
+
+def _default_mrc_capacities(num_unique: int) -> List[int]:
+    """Geometric capacity points up to the trace's distinct-block count
+    (past which the curve is flat: only compulsory misses remain)."""
+    points: List[int] = []
+    size = 16
+    while size < num_unique:
+        points.append(size)
+        size *= 2
+    points.append(max(1, num_unique))
+    return points
+
+
+def _run_mrc(args: argparse.Namespace) -> str:
+    """The ``mrc`` command: one profiling pass, the whole LRU curve.
+
+    Computes the exact Mattson miss-ratio curve of a trace
+    (:func:`repro.analysis.mrc.mrc_for_trace`) and, with ``--che``, the
+    Che/Fagin closed-form estimate alongside for comparison.
+    """
+    from repro.analysis.mrc import che_mrc, mrc_for_trace
+    from repro.runner import WorkloadSpec, materialize_trace
+    from repro.util.tables import format_table
+
+    if args.trace is not None:
+        workload = WorkloadSpec("file", str(args.trace))
+    else:
+        workload = WorkloadSpec(
+            "large", args.workload, {"num_refs": args.refs}
+        )
+    trace = materialize_trace(workload)
+    capacities = args.capacities or _default_mrc_capacities(
+        trace.num_unique_blocks
+    )
+    curve = mrc_for_trace(trace, args.warmup, capacities=capacities)
+    headers = ["capacity (blocks)", "hit rate", "miss ratio"]
+    rows: List[List[object]] = [
+        [capacity, f"{hit:.4f}", f"{1.0 - hit:.4f}"]
+        for capacity, hit in zip(curve.capacities, curve.hit_rates)
+    ]
+    if args.che:
+        estimate = che_mrc(trace, capacities, args.warmup)
+        headers.append("che hit rate")
+        for row, approx in zip(rows, estimate.hit_rates):
+            row.append(f"{approx:.4f}")
+    title = (
+        f"LRU miss-ratio curve: {trace.info.name} "
+        f"({curve.references} refs measured, "
+        f"{curve.num_unique_blocks} distinct blocks)"
+    )
+    return format_table(headers, rows, title=title)
 
 
 def _run_classify(args: argparse.Namespace) -> str:
@@ -474,6 +531,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bench: timed repetitions per scenario (best-of)",
     )
+    mrc = parser.add_argument_group("mrc options")
+    mrc.add_argument(
+        "--capacities",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="BLOCKS",
+        help=(
+            "mrc: capacity points to evaluate (default: geometric series "
+            "up to the trace's distinct-block count); --trace/--workload/"
+            "--refs/--warmup select the trace as for simulate"
+        ),
+    )
+    mrc.add_argument(
+        "--che",
+        action="store_true",
+        help=(
+            "mrc: add the Che/Fagin closed-form hit-rate estimate "
+            "alongside the exact curve"
+        ),
+    )
     check = parser.add_argument_group("check options")
     check.add_argument(
         "--format",
@@ -507,6 +585,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_bench(args)
         if args.experiment == "simulate":
             report = _run_simulate(args)
+        elif args.experiment == "mrc":
+            report = _run_mrc(args)
         elif args.experiment == "classify":
             report = _run_classify(args)
         else:

@@ -109,6 +109,7 @@ def run_figure7(
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     check_invariants: Optional[int] = None,
+    use_mrc: Optional[bool] = None,
 ) -> Figure7Result:
     """Run the Figure-7 sweeps and return all series.
 
@@ -116,6 +117,12 @@ def run_figure7(
     :class:`repro.runner.RunSpec`, so the sweep parallelizes across
     ``jobs`` worker processes (``None``/1 serial, 0 all cores) and skips
     points already present in ``cache_dir``.
+
+    ``use_mrc`` is forwarded to :func:`repro.sim.sweep_server_size`.
+    Figure 7's workloads are multi-client, so its sweeps always fall
+    back to point simulation — the flag matters only for single-client
+    reruns (e.g. ``workloads=("httpd",)`` with a 1-client scale hack) and
+    is threaded through for API symmetry with the sweep layer.
     """
     scale = resolve_scale(scale)
     costs = paper_two_level()
@@ -160,6 +167,7 @@ def run_figure7(
             jobs=jobs,
             cache_dir=cache_dir,
             check_invariants=check_invariants,
+            use_mrc=use_mrc,
         )
         # Collapse the uniLRU variants into the pointwise best, as the
         # paper did for its comparisons.

@@ -30,6 +30,7 @@ from repro.runner.cache import ResultCache
 from repro.runner.executor import (
     execute_spec,
     materialize_trace,
+    resolve_check_interval,
     resolve_jobs,
     run_specs,
 )
@@ -53,5 +54,6 @@ __all__ = [
     "run_specs",
     "execute_spec",
     "materialize_trace",
+    "resolve_check_interval",
     "resolve_jobs",
 ]

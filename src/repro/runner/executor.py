@@ -55,6 +55,30 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def resolve_check_interval(check_invariants: object) -> Optional[int]:
+    """Validate a ``check_invariants`` interval: ``None`` or an int >= 1.
+
+    Bools are rejected explicitly — ``True`` is an ``int`` to
+    ``isinstance``, and letting it through would silently mean
+    check-every-1-reference (the companion of :func:`resolve_jobs` for
+    the invariant-checking knob).
+    """
+    if check_invariants is None:
+        return None
+    if isinstance(check_invariants, bool) or not isinstance(
+        check_invariants, int
+    ):
+        raise ConfigurationError(
+            "check_invariants must be None or an int interval "
+            f"(references between checks), got {check_invariants!r}"
+        )
+    if check_invariants < 1:
+        raise ConfigurationError(
+            f"check_invariants must be >= 1, got {check_invariants}"
+        )
+    return check_invariants
+
+
 def materialize_trace(workload: WorkloadSpec) -> Trace:
     """Build (or reuse) the trace for a workload spec.
 
@@ -89,6 +113,7 @@ def execute_spec(
             with or without it — so the flag is deliberately *not* part
             of the spec hash; cached results are reused either way.
     """
+    check_invariants = resolve_check_interval(check_invariants)
     trace = materialize_trace(spec.workload)
     scheme = spec.build_scheme()
     if check_invariants is not None:
@@ -109,10 +134,11 @@ def execute_spec(
 
 def _execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
     """Worker entry point: dicts in, dicts out (stable pickling)."""
-    check_every = payload.get("check_invariants")
+    check_every = resolve_check_interval(payload.get("check_invariants"))
     spec_dict = {k: v for k, v in payload.items() if k != "check_invariants"}
-    every = check_every if isinstance(check_every, int) else None
-    result = execute_spec(RunSpec.from_dict(spec_dict), check_invariants=every)
+    result = execute_spec(
+        RunSpec.from_dict(spec_dict), check_invariants=check_every
+    )
     return result.to_dict()
 
 
@@ -135,6 +161,7 @@ def run_specs(
             references (see :func:`execute_spec`). Cache hits skip the
             simulation and therefore the checking.
     """
+    check_invariants = resolve_check_interval(check_invariants)
     specs = list(specs)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     results: List[Optional[RunResult]] = [None] * len(specs)

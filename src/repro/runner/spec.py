@@ -33,7 +33,10 @@ from repro.workloads.base import Trace
 
 #: Bump when the spec schema or engine semantics change incompatibly;
 #: part of the hash, so stale caches invalidate themselves.
-SPEC_VERSION = 1
+#: Version 2: RunResult grew an explicit ``t_message_ms`` component
+#: (previously folded into ``t_demotion_ms``), so version-1 cached
+#: results carry an incompatible time decomposition.
+SPEC_VERSION = 2
 
 
 def _canonical_json(payload: object) -> str:

@@ -82,27 +82,56 @@ def run_simulation(
     """
     metrics = MetricsCollector(scheme.num_levels, scheme.num_clients)
     warmup_count = _drive(scheme, trace, warmup_fraction, metrics)
+    return result_from_metrics(
+        scheme.name,
+        trace.info.name,
+        list(scheme.capacities),
+        metrics,
+        costs,
+        warmup_count,
+    )
 
+
+def result_from_metrics(
+    scheme_name: str,
+    workload_name: str,
+    capacities: list,
+    metrics: MetricsCollector,
+    costs: CostModel,
+    warmup_count: int,
+) -> RunResult:
+    """Package a collector's counters into a :class:`RunResult`.
+
+    This is the *single* place the measured counters turn into reported
+    rates and time components; :func:`run_simulation` and the analytic
+    miss-ratio-curve engine (:mod:`repro.analysis.mrc`) both go through
+    it, so a curve-derived result is arithmetically identical to a
+    simulated one whenever the underlying counters agree. The time
+    decomposition keeps the control-message share in its own
+    ``t_message_ms`` field (``t_hit + t_miss + t_demotion + t_message ==
+    t_ave`` exactly), matching :meth:`MetricsCollector.summary`.
+    """
+    num_levels = metrics.num_levels
     return RunResult(
-        scheme=scheme.name,
-        workload=trace.info.name,
-        capacities=list(scheme.capacities),
-        num_clients=scheme.num_clients,
+        scheme=scheme_name,
+        workload=workload_name,
+        capacities=list(capacities),
+        num_clients=metrics.num_clients,
         references=metrics.references,
         warmup_references=warmup_count,
         level_hit_rates=[
-            metrics.hit_rate(level) for level in range(1, scheme.num_levels + 1)
+            metrics.hit_rate(level) for level in range(1, num_levels + 1)
         ],
         miss_rate=metrics.miss_rate,
         demotion_rates=[
             metrics.demotion_rate(boundary)
-            for boundary in range(1, scheme.num_levels)
+            for boundary in range(1, num_levels)
         ],
         t_ave_ms=metrics.average_access_time(costs),
         t_hit_ms=metrics.hit_time_component(costs),
         t_miss_ms=metrics.miss_time_component(costs),
-        t_demotion_ms=metrics.demotion_time_component(costs)
-        + metrics.message_time_component(costs),
+        t_demotion_ms=metrics.demotion_time_component(costs),
+        t_message_ms=metrics.message_time_component(costs),
         extras=_result_extras(metrics),
         per_client=_per_client_stats(metrics),
     )

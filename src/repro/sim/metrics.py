@@ -9,9 +9,10 @@ demotion components.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.events import AccessEvent
+from repro.errors import ProtocolError
 from repro.sim.costs import CostModel
 
 
@@ -45,9 +46,20 @@ class MetricsCollector:
         self.per_client_demotions = [0] * num_clients
 
     def record(self, event: AccessEvent) -> None:
-        """Fold one event into the counters."""
+        """Fold one event into the counters.
+
+        Raises:
+            ProtocolError: when ``event.client`` is outside
+                ``[0, num_clients)`` — silently remapping would
+                misattribute per-client statistics.
+        """
         self.references += 1
-        client = event.client if 0 <= event.client < self.num_clients else 0
+        client = event.client
+        if not 0 <= client < self.num_clients:
+            raise ProtocolError(
+                f"event for client {client} recorded by a collector "
+                f"tracking {self.num_clients} client(s)"
+            )
         self.per_client_refs[client] += 1
         if event.hit_level is None:
             self.misses += 1
@@ -128,7 +140,13 @@ class MetricsCollector:
     # -- reporting ------------------------------------------------------------------
 
     def summary(self, costs: Optional[CostModel] = None) -> Dict[str, float]:
-        """Flat dict of every metric (for results/serialisation)."""
+        """Flat dict of every metric (for results/serialisation).
+
+        The access-time decomposition matches
+        :func:`repro.sim.engine.run_simulation`:
+        ``t_hit_ms + t_miss_ms + t_demotion_ms + t_message_ms ==
+        t_ave_ms`` holds exactly, control messages included.
+        """
         out: Dict[str, float] = {
             "references": float(self.references),
             "total_hit_rate": self.total_hit_rate,
@@ -146,4 +164,5 @@ class MetricsCollector:
             out["t_hit_ms"] = self.hit_time_component(costs)
             out["t_miss_ms"] = self.miss_time_component(costs)
             out["t_demotion_ms"] = self.demotion_time_component(costs)
+            out["t_message_ms"] = self.message_time_component(costs)
         return out

@@ -9,11 +9,13 @@ from pathlib import Path
 from typing import Dict, List, Union
 
 
-#: ``extras`` keys holding wall-clock measurement metadata. They vary
-#: run to run even when the simulation output is bit-identical, so
+#: ``extras`` keys holding measurement metadata: wall-clock numbers and
+#: the ``mrc_derived`` provenance flag (set when a result was derived
+#: from a miss-ratio-curve pass instead of a point simulation). They can
+#: vary run to run even when the simulation output is bit-identical, so
 #: determinism checks go through :meth:`RunResult.comparable`, which
 #: strips them.
-TIMING_EXTRAS = frozenset({"wall_time_s", "refs_per_s"})
+TIMING_EXTRAS = frozenset({"wall_time_s", "refs_per_s", "mrc_derived"})
 
 
 @dataclass(frozen=True)
@@ -31,7 +33,10 @@ class RunResult:
     """Outcome of one (scheme, workload, configuration) run.
 
     All rates are fractions of post-warm-up references; times are
-    milliseconds per reference. Multi-client runs carry one
+    milliseconds per reference. The time components decompose exactly:
+    ``t_hit_ms + t_miss_ms + t_demotion_ms + t_message_ms == t_ave_ms``
+    (``t_message_ms`` is the control-message share, which older versions
+    folded into ``t_demotion_ms``). Multi-client runs carry one
     :class:`ClientStats` per client in ``per_client`` (the stringly
     ``extras["clientN_*"]`` keys are deprecated duplicates, kept for one
     release).
@@ -50,6 +55,7 @@ class RunResult:
     t_hit_ms: float
     t_miss_ms: float
     t_demotion_ms: float
+    t_message_ms: float = 0.0
     extras: Dict[str, float] = field(default_factory=dict)
     per_client: List[ClientStats] = field(default_factory=list)
 
@@ -115,7 +121,8 @@ def save_results_csv(results: List[RunResult], path: Union[str, Path]) -> None:
          "total_hit_rate", "miss_rate"]
         + [f"hit_rate_L{k}" for k in range(1, max_levels + 1)]
         + [f"demotion_rate_B{k}" for k in range(1, max_bounds + 1)]
-        + ["t_ave_ms", "t_hit_ms", "t_miss_ms", "t_demotion_ms"]
+        + ["t_ave_ms", "t_hit_ms", "t_miss_ms", "t_demotion_ms",
+           "t_message_ms"]
     )
     with open(Path(path), "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
@@ -133,5 +140,5 @@ def save_results_csv(results: List[RunResult], path: Union[str, Path]) -> None:
                 + hits
                 + demotions
                 + [result.t_ave_ms, result.t_hit_ms, result.t_miss_ms,
-                   result.t_demotion_ms]
+                   result.t_demotion_ms, result.t_message_ms]
             )

@@ -14,13 +14,26 @@ Two execution paths:
   :class:`~repro.workloads.base.Trace`, as before. Callables and live
   traces cannot cross a process boundary or be content-hashed, so
   ``jobs`` / ``cache_dir`` are ignored on this path.
+
+On either path, sweeps over the single-client LRU-family schemes
+(``unilru``, ``indlru`` — declared as :class:`~repro.runner.SchemeSpec`
+builders so they can be introspected) are *derived analytically*: one
+stack-distance profiling pass over the trace yields every server-size
+point at once (:mod:`repro.analysis.mrc`), bit-identical to the
+per-point simulations it replaces and an order of magnitude faster for
+many-point sweeps. Adaptive schemes (ULC, MQ ...), multi-client runs and
+legacy callables fall back to point simulation; ``use_mrc=False`` forces
+the fallback everywhere. Derived results flow through the same result
+cache under the same spec hashes, so cached point runs and MRC-derived
+curves are interchangeable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time  # repro: noqa DET001 -- wall-clock timing is metadata, not simulation output
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 from repro.hierarchy.base import MultiLevelScheme
 from repro.sim.costs import CostModel
@@ -39,6 +52,66 @@ class SweepPoint:
     result: RunResult
 
 
+def _mrc_labels(
+    builders: Dict[str, object],
+    num_clients: int,
+    use_mrc: Optional[bool],
+) -> Set[str]:
+    """Labels whose whole sweep one MRC profiling pass can derive."""
+    if use_mrc is False:
+        return set()
+    from repro.analysis.mrc import supports_scheme
+    from repro.runner.spec import SchemeSpec
+
+    return {
+        label
+        for label, builder in builders.items()
+        if isinstance(builder, SchemeSpec)
+        and supports_scheme(builder.name, builder.kwargs, num_clients)
+    }
+
+
+def _stamp_mrc_extras(
+    result: RunResult, wall_s: float, references: int
+) -> RunResult:
+    """Provenance + throughput metadata on a derived result (all keys in
+    :data:`~repro.sim.results.TIMING_EXTRAS`, so ``comparable()``
+    equality with a simulated point is unaffected)."""
+    extras = dict(result.extras)
+    extras["mrc_derived"] = 1.0
+    extras["wall_time_s"] = wall_s
+    extras["refs_per_s"] = references / wall_s if wall_s > 0 else 0.0
+    return replace(result, extras=extras)
+
+
+def _derive_points(
+    scheme_spec: object,
+    trace: Trace,
+    client_capacity: int,
+    server_sizes: Sequence[int],
+    costs: CostModel,
+    warmup_fraction: float,
+) -> List[RunResult]:
+    """One MRC pass -> RunResults for every server size, timing stamped."""
+    from repro.analysis.mrc import derive_sweep_results
+
+    started = time.perf_counter()
+    derived = derive_sweep_results(
+        scheme_spec.name,  # type: ignore[attr-defined]
+        trace,
+        client_capacity,
+        server_sizes,
+        costs,
+        warmup_fraction,
+        scheme_kwargs=dict(scheme_spec.kwargs),  # type: ignore[attr-defined]
+    )
+    # The profiling pass is shared by every point; attribute it evenly.
+    wall = (time.perf_counter() - started) / max(1, len(derived))
+    return [
+        _stamp_mrc_extras(result, wall, len(trace)) for result in derived
+    ]
+
+
 def sweep_server_size(
     builders: Dict[str, object],
     trace: object,
@@ -50,6 +123,7 @@ def sweep_server_size(
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     check_invariants: Optional[int] = None,
+    use_mrc: Optional[bool] = None,
 ) -> Dict[str, List[SweepPoint]]:
     """Run every scheme at every server size over ``trace``.
 
@@ -68,11 +142,21 @@ def sweep_server_size(
     ``check_invariants`` (an interval in references) validates every
     scheme's structural invariants while it runs — see
     :class:`repro.checks.InvariantCheckedScheme`. It never changes the
-    results.
+    results. (MRC-derived points have no live scheme to check; the
+    derivation is pinned to the simulator by the equivalence suite
+    instead.)
+
+    ``use_mrc`` controls the single-pass miss-ratio-curve shortcut for
+    LRU-family single-client schemes (see the module docstring):
+    ``None`` auto-detects (the default), ``False`` forces point
+    simulation everywhere. The results are bit-identical either way.
 
     Returns ``{label: [SweepPoint, ...]}`` in ``server_sizes`` order.
     """
+    from repro.runner.executor import resolve_check_interval
     from repro.runner.spec import SchemeSpec, WorkloadSpec
+
+    check_invariants = resolve_check_interval(check_invariants)
 
     all_specs = builders and all(
         isinstance(builder, SchemeSpec) for builder in builders.values()
@@ -89,6 +173,7 @@ def sweep_server_size(
             jobs,
             cache_dir,
             check_invariants,
+            use_mrc,
         )
     if not isinstance(trace, Trace):
         raise TypeError(
@@ -98,9 +183,27 @@ def sweep_server_size(
             f"{sorted({type(b).__name__ for b in builders.values()})}"
         )
 
+    mrc_labels = _mrc_labels(builders, num_clients, use_mrc)
     out: Dict[str, List[SweepPoint]] = {label: [] for label in builders}
+    for label in mrc_labels:
+        out[label] = [
+            SweepPoint(int(size), result)
+            for size, result in zip(
+                server_sizes,
+                _derive_points(
+                    builders[label],
+                    trace,
+                    client_capacity,
+                    server_sizes,
+                    costs,
+                    warmup_fraction,
+                ),
+            )
+        ]
     for server_size in server_sizes:
         for label, builder in builders.items():
+            if label in mrc_labels:
+                continue
             if isinstance(builder, SchemeSpec):
                 scheme = builder.build(
                     [client_capacity, int(server_size)], num_clients
@@ -131,8 +234,10 @@ def _sweep_specs(
     jobs: Optional[int],
     cache_dir: Optional[Union[str, Path]],
     check_invariants: Optional[int] = None,
+    use_mrc: Optional[bool] = None,
 ) -> Dict[str, List[SweepPoint]]:
-    from repro.runner.executor import run_specs
+    from repro.runner.cache import ResultCache
+    from repro.runner.executor import materialize_trace, run_specs
     from repro.runner.spec import CostSpec, specs_for_sweep
 
     rows = specs_for_sweep(
@@ -144,15 +249,59 @@ def _sweep_specs(
         num_clients=num_clients,
         warmup_fraction=warmup_fraction,
     )
-    results = run_specs(
-        [spec for _, _, spec in rows],
+    mrc_labels = _mrc_labels(builders, num_clients, use_mrc)
+    results: Dict[int, RunResult] = {}
+
+    # MRC-eligible labels first: serve what the cache already has, derive
+    # the rest from one profiling pass per label, and store the derived
+    # points back under the *same* spec hashes a point simulation would
+    # use — the cache cannot tell (and need not care) how a result was
+    # obtained.
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    for label in mrc_labels:
+        label_rows = [
+            (index, size, spec)
+            for index, (row_label, size, spec) in enumerate(rows)
+            if row_label == label
+        ]
+        pending = []
+        for index, size, spec in label_rows:
+            cached = cache.get(spec) if cache is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append((index, size, spec))
+        if not pending:
+            continue
+        derived = _derive_points(
+            builders[label],
+            materialize_trace(workload),  # type: ignore[arg-type]
+            client_capacity,
+            [size for _, size, _ in pending],
+            costs,
+            warmup_fraction,
+        )
+        for (index, _, spec), result in zip(pending, derived):
+            results[index] = result
+            if cache is not None:
+                cache.put(spec, result)
+
+    sim_indices = [
+        index
+        for index, (row_label, _, _) in enumerate(rows)
+        if row_label not in mrc_labels
+    ]
+    sim_results = run_specs(
+        [rows[index][2] for index in sim_indices],
         jobs=jobs,
         cache_dir=cache_dir,
         check_invariants=check_invariants,
     )
+    results.update(zip(sim_indices, sim_results))
+
     out: Dict[str, List[SweepPoint]] = {label: [] for label in builders}
-    for (label, size, _), result in zip(rows, results):
-        out[label].append(SweepPoint(size, result))
+    for index, (label, size, _) in enumerate(rows):
+        out[label].append(SweepPoint(size, results[index]))
     return out
 
 

@@ -13,9 +13,11 @@ from repro.runner import (
     SchemeSpec,
     WorkloadSpec,
     execute_spec,
+    resolve_check_interval,
     resolve_jobs,
     run_specs,
 )
+from repro.runner.executor import _execute_payload
 from repro.sim import (
     TIMING_EXTRAS,
     paper_three_level,
@@ -53,6 +55,42 @@ class TestResolveJobs:
     def test_negative_rejected(self):
         with pytest.raises(ConfigurationError):
             resolve_jobs(-2)
+
+
+class TestResolveCheckInterval:
+    """``check_invariants=True`` must be a configuration error, not a
+    silent check-every-1-reference (bools pass ``isinstance(x, int)``)."""
+
+    def test_none_and_ints_pass(self):
+        assert resolve_check_interval(None) is None
+        assert resolve_check_interval(1) == 1
+        assert resolve_check_interval(500) == 500
+
+    @pytest.mark.parametrize("bad", [True, False, 1.5, "100", 0, -3])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="check_invariants"):
+            resolve_check_interval(bad)
+
+    def test_run_specs_rejects_bool(self):
+        with pytest.raises(ConfigurationError, match="check_invariants"):
+            run_specs(batch()[:1], check_invariants=True)
+
+    def test_execute_payload_rejects_bool(self):
+        payload = dict(batch()[0].to_dict())
+        payload["check_invariants"] = True
+        with pytest.raises(ConfigurationError, match="check_invariants"):
+            _execute_payload(payload)
+
+    def test_sweep_rejects_bool(self):
+        with pytest.raises(ConfigurationError, match="check_invariants"):
+            sweep_server_size(
+                {"uniLRU": SchemeSpec("unilru")},
+                WORKLOAD,
+                16,
+                [32],
+                paper_two_level(),
+                check_invariants=True,
+            )
 
 
 class TestDeterminism:

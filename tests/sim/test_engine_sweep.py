@@ -63,7 +63,10 @@ class TestEngine:
         assert 0 <= result.miss_rate <= 1
         assert result.t_ave_ms >= 0
         assert result.t_ave_ms == pytest.approx(
-            result.t_hit_ms + result.t_miss_ms + result.t_demotion_ms
+            result.t_hit_ms
+            + result.t_miss_ms
+            + result.t_demotion_ms
+            + result.t_message_ms
         )
 
     def test_run_with_collector(self):

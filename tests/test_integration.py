@@ -32,7 +32,10 @@ class TestSingleClientPipeline:
         # Accounting coherence.
         assert result.total_hit_rate + result.miss_rate == pytest.approx(1.0)
         assert result.t_ave_ms == pytest.approx(
-            result.t_hit_ms + result.t_miss_ms + result.t_demotion_ms
+            result.t_hit_ms
+            + result.t_miss_ms
+            + result.t_demotion_ms
+            + result.t_message_ms
         )
         assert all(0 <= r <= 1 for r in result.level_hit_rates)
         assert all(r >= 0 for r in result.demotion_rates)
