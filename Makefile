@@ -1,0 +1,35 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); `make check` is the local equivalent of the
+# lint + check-deep jobs. ruff/mypy are optional extras — install with
+# `pip install ruff mypy` (the repro passes need only the package).
+
+PYTHON ?= python
+
+.PHONY: check check-shallow check-deep lint test bench baseline hash-schema
+
+check: lint check-shallow check-deep
+
+check-shallow:
+	$(PYTHON) -m repro check src/repro
+
+check-deep:
+	$(PYTHON) -m repro check src/repro --deep
+
+lint:
+	$(PYTHON) -m ruff check src tests
+	$(PYTHON) -m mypy
+
+test:
+	$(PYTHON) -m pytest -q
+
+bench:
+	$(PYTHON) -m repro bench --smoke --threshold 0.30 \
+		--baseline BENCH_core_ops.json --output bench_smoke.json
+
+# Maintenance: regenerate the deep-pass artefacts after reviewing that
+# the new findings / schema drift are intentional.
+baseline:
+	$(PYTHON) -m repro check src/repro --deep --update-baseline
+
+hash-schema:
+	$(PYTHON) -m repro check src/repro --deep --update-hash-schema

@@ -49,6 +49,7 @@ Refs = Iterable[int]
 BenchResult = Dict[str, float]
 
 
+# repro: hot
 def _drive_ulc(capacity_per_level: int, refs: Refs) -> None:
     engine = ULCClient([capacity_per_level] * 3)
     access = engine.access
@@ -56,6 +57,7 @@ def _drive_ulc(capacity_per_level: int, refs: Refs) -> None:
         access(block)
 
 
+# repro: hot
 def _drive_lru(refs: Refs) -> None:
     policy = LRUPolicy(3072)
     access = policy.access
@@ -63,6 +65,7 @@ def _drive_lru(refs: Refs) -> None:
         access(block)
 
 
+# repro: hot
 def _drive_multi(refs: Refs) -> None:
     system = ULCMultiSystem(8, client_capacity=128, server_capacity=2048)
     access = system.access

@@ -2,9 +2,10 @@
 
 Runs every AST rule (:mod:`repro.checks.rules`) over the requested
 files plus the registry-conformance pass
-(:mod:`repro.checks.registry_checks`), filters findings through
-``# repro: noqa RULE`` line suppressions, and renders the survivors as a
-human report or JSON.
+(:mod:`repro.checks.registry_checks`) — and, with ``deep=True``, the
+whole-program dataflow pass (:mod:`repro.checks.flow`) — filters
+findings through ``# repro: noqa RULE`` line suppressions, and renders
+the survivors as a human report, JSON, or SARIF.
 
 Exit-code contract (the CLI returns these):
 
@@ -53,7 +54,74 @@ def _suppressed(
     if finding.line not in table:
         return False
     codes = table[finding.line]
-    return codes is None or finding.rule in codes
+    if codes is None:
+        # A bare noqa must not silence the rule that polices bare noqas.
+        return finding.rule != "NOQA001"
+    return finding.rule in codes
+
+
+#: Suppression hygiene: every noqa must name its rules and justify them.
+NOQA001_SUMMARY = (
+    "noqa suppression without named rules or a justification comment"
+)
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, int, str]]:
+    """``(lineno, col, text)`` of every comment token; [] on tokenizer
+    failure (the AST pass reports the syntax error instead)."""
+    import io
+    import tokenize
+
+    out: List[Tuple[int, int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    return out
+
+
+def _noqa_findings(path: str, source: str) -> List[Finding]:
+    """NOQA001 findings for bare or unjustified noqa comments.
+
+    A compliant suppression names its rules *and* carries free text
+    after them explaining why, e.g.
+    ``# repro: noqa SIM001 -- keys are static literals``. Only real
+    comment tokens are examined (noqa examples inside strings and
+    docstrings, or quoted in backticks, are documentation).
+    """
+    findings: List[Finding] = []
+    for lineno, col, comment in _comment_tokens(source):
+        match = _NOQA_RE.search(comment)
+        if match is None:
+            continue
+        if match.start() > 0 and comment[match.start() - 1] == "`":
+            continue
+        rules = match.group("rules")
+        justification = comment[match.end():].strip().lstrip("-—: ").strip()
+        if rules is None:
+            message = (
+                "bare '# repro: noqa' suppresses every rule; name the "
+                "rule(s) and add a justification, e.g. "
+                "'# repro: noqa SIM001 -- why it is safe'"
+            )
+        elif not justification:
+            message = (
+                f"'# repro: noqa {rules}' has no justification comment; "
+                f"append one, e.g. '# repro: noqa {rules} -- why it is "
+                f"safe'"
+            )
+        else:
+            continue
+        findings.append(Finding(
+            path=path,
+            line=lineno,
+            col=col + match.start(),
+            rule="NOQA001",
+            message=message,
+        ))
+    return findings
 
 
 @dataclass
@@ -63,6 +131,9 @@ class CheckReport:
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    #: Findings subtracted by the committed deep-pass baseline.
+    baseline_suppressed: int = 0
+    deep: bool = False
 
     @property
     def exit_code(self) -> int:
@@ -97,6 +168,9 @@ def check_file(
         ) from exc
     ctx = FileContext(str(path), source, tree)
     raw = run_ast_rules(ctx, select=select)
+    wanted = set(select)
+    if not wanted or "NOQA001" in wanted:
+        raw = list(raw) + _noqa_findings(str(path), source)
     table = _suppressions(source)
     visible = [f for f in raw if not _suppressed(f, table)]
     return sorted(visible), len(raw) - len(visible)
@@ -106,6 +180,9 @@ def run_checks(
     paths: Sequence[Union[str, Path]],
     select: Iterable[str] = (),
     registry: bool = True,
+    deep: bool = False,
+    baseline: Optional[Union[str, Path]] = None,
+    manifest: Optional[Union[str, Path]] = None,
 ) -> CheckReport:
     """Run the full static-analysis pass over ``paths``.
 
@@ -114,8 +191,14 @@ def run_checks(
         select: restrict to these rule codes (empty = all).
         registry: also run the API001 registry-conformance pass (only
             meaningful when linting the repro tree itself).
+        deep: also run the whole-program dataflow pass
+            (:mod:`repro.checks.flow` — FLOW001..FLOW004).
+        baseline: deep-pass findings baseline file; ``None`` uses the
+            committed default.
+        manifest: hash-schema manifest FLOW003 compares against;
+            ``None`` uses the committed default.
     """
-    report = CheckReport()
+    report = CheckReport(deep=deep)
     wanted = set(select)
     for path in iter_python_files(paths):
         findings, suppressed = check_file(path, select=wanted)
@@ -126,44 +209,86 @@ def run_checks(
         from repro.checks.registry_checks import check_registries
 
         report.findings.extend(check_registries())
+    if deep:
+        from repro.checks.flow import FLOW_RULES, run_flow_checks
+
+        flow_select = sorted(wanted & set(FLOW_RULES)) if wanted else None
+        if flow_select is None or flow_select:
+            flow_report = run_flow_checks(
+                paths,
+                select=flow_select,
+                baseline_path=baseline,
+                manifest_path=manifest,
+            )
+            report.findings.extend(flow_report.findings)
+            report.baseline_suppressed += flow_report.baseline_suppressed
     report.findings.sort()
     return report
 
 
 def all_rules() -> List[Tuple[str, str, str]]:
     """Every rule as ``(code, summary, rationale)`` for ``--list-rules``."""
+    from repro.checks.flow import FLOW_RULES
     from repro.checks.registry_checks import RegistryConformance
 
     rules: List[Rule] = [cls() for cls in AST_RULES]
     rules.append(RegistryConformance())
-    return [
+    out = [
         (rule.code, rule.summary, (rule.__doc__ or "").strip())
         for rule in rules
     ]
+    out.append((
+        "NOQA001",
+        NOQA001_SUMMARY,
+        "Suppressions must name their rules and justify them so the "
+        "debt they hide stays reviewable.",
+    ))
+    for code in sorted(FLOW_RULES):
+        out.append((code, FLOW_RULES[code], "Deep (whole-program) pass."))
+    return out
+
+
+def rule_docs() -> Dict[str, str]:
+    """Rule code → one-line summary, for the SARIF driver block."""
+    return {code: summary for code, summary, _ in all_rules()}
 
 
 def format_findings(report: CheckReport, fmt: str = "human") -> str:
-    """Render a report as ``human`` text or ``json``."""
+    """Render a report as ``human`` text, ``json``, or ``sarif``."""
     if fmt == "json":
         return json.dumps(
             {
                 "findings": [f.to_dict() for f in report.findings],
                 "files_checked": report.files_checked,
                 "suppressed": report.suppressed,
+                "baseline_suppressed": report.baseline_suppressed,
+                "deep": report.deep,
                 "exit_code": report.exit_code,
             },
             indent=2,
             sort_keys=True,
         )
+    if fmt == "sarif":
+        from repro import __version__
+        from repro.checks.sarif import render_sarif
+
+        return render_sarif(
+            report.findings, rule_docs(), tool_version=__version__
+        )
     if fmt != "human":
         raise ConfigurationError(
-            f"unknown check output format {fmt!r}; use 'human' or 'json'"
+            f"unknown check output format {fmt!r}; use 'human', 'json' "
+            f"or 'sarif'"
         )
     lines = [finding.format_human() for finding in report.findings]
     summary = (
         f"{len(report.findings)} finding(s) in {report.files_checked} "
         f"file(s) ({report.suppressed} suppressed via noqa)"
     )
+    if report.deep:
+        summary += (
+            f" [deep pass on; {report.baseline_suppressed} baselined]"
+        )
     if lines:
         return "\n".join(lines) + "\n" + summary
     return summary

@@ -1,0 +1,83 @@
+"""Committed findings baseline for the deep pass.
+
+CI should fail on *new* findings, not on a debt list that predates the
+rule. A baseline file maps stable fingerprints of accepted findings to
+their text; ``repro check --deep`` subtracts it, and
+``--update-baseline`` rewrites it from the current tree. Fingerprints
+deliberately exclude line numbers so unrelated edits above a finding do
+not churn the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.checks.findings import Finding
+
+#: Default committed baseline location.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def _rel_path(path: str) -> str:
+    """Repo-stable form of a finding path (``repro/...`` suffix)."""
+    parts = Path(path).parts
+    if "repro" in parts:
+        idx = len(parts) - 1 - list(reversed(parts)).index("repro")
+        return "/".join(parts[idx:])
+    return Path(path).name
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-number-free stable identity of a finding."""
+    raw = "|".join((finding.rule, _rel_path(finding.path), finding.message))
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Union[str, Path] = DEFAULT_BASELINE) -> Dict[str, str]:
+    """Fingerprint → description map; empty when absent/unreadable."""
+    baseline_path = Path(path)
+    if not baseline_path.is_file():
+        return {}
+    try:
+        data = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    entries = data.get("findings") if isinstance(data, dict) else None
+    if not isinstance(entries, dict):
+        return {}
+    return {str(k): str(v) for k, v in entries.items()}
+
+
+def write_baseline(
+    findings: List[Finding], path: Union[str, Path] = DEFAULT_BASELINE
+) -> Path:
+    """Rewrite the baseline from the current findings."""
+    entries = {
+        fingerprint(f): f"{f.rule} {_rel_path(f.path)}: {f.message}"
+        for f in sorted(findings)
+    }
+    baseline_path = Path(path)
+    baseline_path.write_text(
+        json.dumps({"findings": entries}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return baseline_path
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, str]
+) -> Tuple[List[Finding], int]:
+    """(new findings, count suppressed by the baseline)."""
+    if not baseline:
+        return list(findings), 0
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if fingerprint(finding) in baseline:
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

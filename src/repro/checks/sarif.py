@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 rendering for ``repro check`` findings.
+
+One renderer serves both the shallow and the deep pass — findings are
+the same :class:`repro.checks.findings.Finding` shape either way. The
+output targets ``github/codeql-action/upload-sarif``, which turns each
+result into an inline PR annotation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.checks.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Rules whose findings SARIF marks as ``warning`` instead of ``error``
+#: (style/hygiene rather than a correctness proof).
+_WARNING_RULES = {"FLOW004", "NOQA001", "ASSERT001"}
+
+
+def _rule_descriptors(
+    findings: Iterable[Finding], rule_docs: Dict[str, str]
+) -> List[dict]:
+    codes = sorted({f.rule for f in findings} | set(rule_docs))
+    return [
+        {
+            "id": code,
+            "shortDescription": {
+                "text": rule_docs.get(code, code),
+            },
+            "defaultConfiguration": {
+                "level": "warning" if code in _WARNING_RULES else "error",
+            },
+        }
+        for code in codes
+    ]
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": "warning" if finding.rule in _WARNING_RULES else "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        # SARIF columns are 1-based; Finding.col is the
+                        # 0-based AST col_offset.
+                        "startColumn": max(1, finding.col + 1),
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    rule_docs: Dict[str, str],
+    tool_version: str = "0",
+) -> str:
+    """Findings as a SARIF 2.1.0 log (a single run)."""
+    findings = list(findings)
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/checks"
+                        ),
+                        "version": tool_version,
+                        "rules": _rule_descriptors(findings, rule_docs),
+                    }
+                },
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

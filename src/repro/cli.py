@@ -100,8 +100,56 @@ def _run_check(args: argparse.Namespace) -> int:
     else:
         # Default to the installed package's own source tree.
         paths = [str(Path(__file__).resolve().parent)]
-    report = run_checks(paths, select=tuple(args.select or ()))
-    print(format_findings(report, args.format))
+    if args.update_hash_schema:
+        from repro.checks.flow import Project, write_hash_schema
+
+        from repro.checks.flow import DEFAULT_MANIFEST
+
+        written = write_hash_schema(
+            Project(paths), args.hash_schema or DEFAULT_MANIFEST
+        )
+        if written is None:
+            print("no hashed *Spec classes found; manifest not written")
+            return 2
+        print(f"hash-schema manifest written: {written}")
+        return 0
+    if args.update_baseline:
+        from repro.checks.flow import (
+            DEFAULT_BASELINE,
+            run_flow_checks,
+            write_baseline,
+        )
+
+        # Baseline raw deep findings (run against an empty baseline).
+        flow_report = run_flow_checks(paths, baseline_path="/dev/null")
+        written = write_baseline(
+            flow_report.findings, args.baseline or DEFAULT_BASELINE
+        )
+        print(
+            f"baseline written with {len(flow_report.findings)} "
+            f"finding(s): {written}"
+        )
+        return 0
+    report = run_checks(
+        paths,
+        select=tuple(args.select or ()),
+        deep=args.deep,
+        baseline=args.baseline,
+        manifest=args.hash_schema,
+    )
+    rendered = format_findings(report, args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        if args.format != "human":
+            print(
+                f"{len(report.findings)} finding(s) written to "
+                f"{args.output}"
+            )
+        else:
+            print(rendered)
+    else:
+        print(rendered)
     return report.exit_code
 
 
@@ -506,9 +554,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--baseline",
         default=None,
+        metavar="FILE",
         help=(
             "bench: JSON document to compare against (default: the "
-            "--output file's previous content, if any)"
+            "--output file's previous content); check --deep: findings "
+            "baseline to subtract (default: the committed "
+            "src/repro/checks/flow/baseline.json)"
         ),
     )
     bench.add_argument(
@@ -556,7 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--format",
         default="human",
-        choices=["human", "json"],
+        choices=["human", "json", "sarif"],
         help="check report format (default: human)",
     )
     check.add_argument(
@@ -570,6 +621,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list every check rule with its rationale and exit",
+    )
+    check.add_argument(
+        "--deep",
+        action="store_true",
+        help=(
+            "also run the whole-program dataflow pass (call graph + "
+            "taint + cache-key soundness + hot-path lint, FLOW001..4)"
+        ),
+    )
+    check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the deep-pass baseline from the current findings",
+    )
+    check.add_argument(
+        "--update-hash-schema",
+        action="store_true",
+        help=(
+            "regenerate the committed hash-schema manifest that FLOW003 "
+            "compares SPEC_VERSION against"
+        ),
+    )
+    check.add_argument(
+        "--hash-schema",
+        metavar="PATH",
+        help=(
+            "hash-schema manifest to compare (with --deep) or write "
+            "(with --update-hash-schema); default: the committed "
+            "src/repro/checks/flow/hash_schema.json"
+        ),
     )
     return parser
 

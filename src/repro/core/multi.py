@@ -286,10 +286,12 @@ class ULCMultiClient:
         (e.g. promoted it to its own cache); stale notices are ignored.
         """
         applied = 0
+        lookup = self.stack.lookup
+        evict = self.stack.evict
         for block in blocks:
-            node = self.stack.lookup(block)
+            node = lookup(block)
             if node is not None and node.level == 2:
-                self.stack.evict(node)
+                evict(node)
                 applied += 1
         return applied
 
@@ -420,10 +422,13 @@ class ULCMultiClient:
         response to the very request that caused it."""
         if eviction.owner != self.client_id:
             return
-        for pending in self.server.collect_notices(self.client_id):
-            node = self.stack.lookup(pending)
+        lookup = self.stack.lookup
+        evict = self.stack.evict
+        pending_notices = self.server.collect_notices(self.client_id)
+        for pending in pending_notices:
+            node = lookup(pending)
             if node is not None and node.level == 2:
-                self.stack.evict(node)
+                evict(node)
 
     def check_invariants(self) -> None:
         """Validate stack invariants (tests).
@@ -501,7 +506,7 @@ class ULCMultiSystem:
         if client in self._server_pending:
             notices = self.server.collect_notices(client)
             if self._loss_rng is not None and notices:
-                notices = [
+                notices = [  # repro: noqa FLOW004 -- lossy-notice mode only; runs per delivered batch, not per reference
                     n
                     for n in notices
                     if self._loss_rng.random() >= self.notice_loss_rate

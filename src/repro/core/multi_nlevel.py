@@ -196,10 +196,11 @@ class ULCMultiLevelClient:
             eviction = next_eviction
 
     def _fill_level(self) -> Optional[int]:
-        if self.stack.level_size(1) < self.capacity:
+        level_size = self.stack.level_size
+        if level_size(1) < self.capacity:
             return 1
         for level in range(2, self.num_levels + 1):
-            if self.stack.level_size(level) < self._tier(level).capacity:
+            if level_size(level) < self._tier(level).capacity:
                 return level
         return None
 

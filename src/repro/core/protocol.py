@@ -79,7 +79,7 @@ class ULCClient:
 
     # -- the protocol ----------------------------------------------------------
 
-    def access(self, block: Block, client: int = 0) -> AccessEvent:
+    def access(self, block: Block, client: int = 0) -> AccessEvent:  # repro: hot
         """Process one reference and return the resulting event.
 
         This is the hottest function in the library: the whole

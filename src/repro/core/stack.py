@@ -452,7 +452,8 @@ class UniLRUStack:
         if self.max_size is None or len(self._nodes) <= self.max_size:
             return
         node_at = self._node_at
-        for slot in self._global.iter_reverse():
+        trim_order = self._global.iter_reverse()
+        for slot in trim_order:
             if len(self._nodes) <= self.max_size:
                 break
             node = node_at[slot]

@@ -93,10 +93,16 @@ class CooperativeScheme(MultiLevelScheme):
 
     def _client_insert(self, client: int, block: Block) -> List[Block]:
         evicted = self._clients[client].insert(block)
-        self._holders.setdefault(block, set()).add(client)
+        holders_map = self._holders
+        holders = holders_map.get(block)
+        if holders is None:
+            holders_map[block] = {client}
+        else:
+            holders.add(client)
         dropped: List[Block] = []
+        holders_get = holders_map.get
         for victim in evicted:
-            holders = self._holders.get(victim)
+            holders = holders_get(victim)
             if holders is not None:
                 holders.discard(client)
                 if not holders:
@@ -120,8 +126,13 @@ class CooperativeScheme(MultiLevelScheme):
         if credits <= 0:
             self._chances.pop(block, None)
             return
-        peers = [c for c in range(self.num_clients) if c != client]
-        peer = peers[int(self._rng.integers(0, len(peers)))]
+        # Draw over the num_clients - 1 peers without materialising the
+        # peer list: index i maps to i, skipping over ``client``. The
+        # draw consumes the same RNG stream as indexing the old
+        # ``[c for c in range(n) if c != client]`` list did, so replayed
+        # runs pick identical peers.
+        draw = int(self._rng.integers(0, self.num_clients - 1))
+        peer = draw + 1 if draw >= client else draw
         if block in self._clients[peer]:
             return  # a copy exists after all; nothing to do
         self._chances[block] = credits - 1
@@ -148,9 +159,16 @@ class CooperativeScheme(MultiLevelScheme):
             hit_level: Optional[int] = 2
         else:
             holders = self._holders.get(block)
-            peer_holder = next(
-                (c for c in sorted(holders or ()) if c != client), None
-            )
+            # Lowest-numbered other holder, without sorting: a min scan
+            # over the holder set is order-insensitive, so the choice
+            # stays deterministic under set iteration.
+            peer_holder: Optional[int] = None
+            if holders:
+                for c in holders:
+                    if c != client and (
+                        peer_holder is None or c < peer_holder
+                    ):
+                        peer_holder = c
             if peer_holder is not None:
                 hit_level = 3  # forwarded from a peer's cache
             else:

@@ -74,14 +74,17 @@ class EvictionBasedScheme(MultiLevelScheme):
         self.reloads = 0
 
     def _complete_reloads(self) -> None:
-        while self._pending_queue and self._pending_queue[0][0] <= self._clock:
-            ready_time, block = self._pending_queue.popleft()
-            if self._pending.get(block) != ready_time:
+        queue = self._pending_queue
+        pending_get = self._pending.get
+        server = self._server
+        while queue and queue[0][0] <= self._clock:
+            ready_time, block = queue.popleft()
+            if pending_get(block) != ready_time:
                 continue  # superseded or cancelled
             del self._pending[block]
-            if block in self._server:
+            if block in server:
                 continue
-            self._server.insert(block)
+            server.insert(block)
 
     def _schedule_reload(self, block: Block) -> None:
         self.reloads += 1

@@ -23,7 +23,7 @@ from repro.hierarchy.unilru import (
 SchemeFactory = Callable[..., MultiLevelScheme]
 
 # Filled at import time only; treated as read-only afterwards.
-_SINGLE: Dict[str, SchemeFactory] = {  # repro: noqa SIM001
+_SINGLE: Dict[str, SchemeFactory] = {  # repro: noqa SIM001 -- import-time literal, never iterated on a result path
     "indlru": IndependentScheme,
     "unilru": UnifiedLRUScheme,
     "ulc": ULCScheme,
@@ -31,7 +31,7 @@ _SINGLE: Dict[str, SchemeFactory] = {  # repro: noqa SIM001
 }
 
 # Filled at import time only; treated as read-only afterwards.
-_MULTI: Dict[str, SchemeFactory] = {  # repro: noqa SIM001
+_MULTI: Dict[str, SchemeFactory] = {  # repro: noqa SIM001 -- import-time literal, never iterated on a result path
     "indlru": IndependentScheme,
     "unilru": lambda caps, n, **kw: UnifiedLRUMultiScheme(
         caps, n, insertion=INSERT_MRU, **kw

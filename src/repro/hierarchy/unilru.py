@@ -205,8 +205,9 @@ class UnifiedLRUMultiScheme(MultiLevelScheme):
             dropped = self._server.insert_at_lru_end(victim)
         else:
             dropped = self._server.insert(victim)
+        demoted_by_pop = self._demoted_by.pop
         for block in dropped:
-            self._demoted_by.pop(block, None)
+            demoted_by_pop(block, None)
             evicted.append(block)
 
     def access(self, client: int, block: Block) -> AccessEvent:

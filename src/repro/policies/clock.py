@@ -50,13 +50,15 @@ class CLOCKPolicy(ReplacementPolicy):
 
     def _advance_to_victim(self) -> ListNode[_ClockEntry]:
         """Sweep the hand, clearing reference bits, to the next victim."""
+        ring = self._ring
         while True:
-            node = self._ring.head
+            node = ring.head
             if node is None:  # pragma: no cover - guarded by callers
                 raise ProtocolError("clock sweep on empty ring")
-            if node.value.referenced:
-                node.value.referenced = False
-                self._ring.move_to_back(node)
+            entry = node.value
+            if entry.referenced:
+                entry.referenced = False
+                ring.move_to_back(node)
             else:
                 return node
 

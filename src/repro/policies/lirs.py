@@ -116,14 +116,15 @@ class LIRSPolicy(ReplacementPolicy):
         """Remove HIR entries from the stack bottom until a LIR block (or
         nothing) remains at the bottom; demote that LIR block if it was
         just exposed by the caller."""
-        while self._stack:
-            bottom = self._stack.tail
+        stack = self._stack
+        while stack:
+            bottom = stack.tail
             if bottom is None:
                 raise ProtocolError("non-empty LIRS stack has no tail")
             entry = bottom.value
             if entry.state == _LIR:
                 return
-            self._stack.remove(bottom)
+            stack.remove(bottom)
             entry.stack_node = None
             if entry.state == _HIR_NONRESIDENT:
                 self._ghost_count -= 1
@@ -133,11 +134,13 @@ class LIRSPolicy(ReplacementPolicy):
     def _enforce_ghost_limit(self) -> None:
         if self._ghost_count <= self.ghost_limit:
             return
-        for node in self._stack.iter_reverse():
-            if node.value.state == _HIR_NONRESIDENT:
-                node.value.stack_node = None
-                self._stack.remove(node)
-                del self._entries[node.value.block]
+        stack = self._stack
+        for node in stack.iter_reverse():
+            entry = node.value
+            if entry.state == _HIR_NONRESIDENT:
+                entry.stack_node = None
+                stack.remove(node)
+                del self._entries[entry.block]
                 self._ghost_count -= 1
                 if self._ghost_count <= self.ghost_limit:
                     break

@@ -136,10 +136,11 @@ class MQPolicy(ReplacementPolicy):
     def _remember_ghost(self, block: Block, frequency: int) -> None:
         if self.ghost_capacity == 0:
             return
-        self._ghost.pop(block, None)
-        self._ghost[block] = frequency
-        while len(self._ghost) > self.ghost_capacity:
-            self._ghost.popitem(last=False)
+        ghost = self._ghost
+        ghost.pop(block, None)
+        ghost[block] = frequency
+        while len(ghost) > self.ghost_capacity:
+            ghost.popitem(last=False)
 
     # -- ReplacementPolicy interface ----------------------------------------
 

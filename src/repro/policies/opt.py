@@ -87,8 +87,13 @@ class OPTPolicy(ReplacementPolicy):
         # `resident()` is deterministic (a bare set would not be).
         self._resident: Dict[Block, None] = {}
         self._next_use: Dict[Block, float] = {}
-        # Lazy max-heap of (-next_use, block); stale entries are skipped.
+        # Lazy max-heap of (-next_use, seq, block); stale entries are
+        # skipped. The insertion sequence breaks next-use ties (blocks
+        # never referenced again all sit at +inf) deterministically —
+        # id(block) would tie-break by memory address and make the
+        # eviction victim vary between otherwise identical runs.
         self._heap: List[tuple] = []
+        self._heap_seq = 0
 
     @property
     def clock(self) -> int:
@@ -112,14 +117,18 @@ class OPTPolicy(ReplacementPolicy):
 
     def _set_next_use(self, block: Block, when: float) -> None:
         self._next_use[block] = when
-        heapq.heappush(self._heap, (-when, id(block), block))
+        self._heap_seq += 1
+        heapq.heappush(self._heap, (-when, self._heap_seq, block))
 
     def _current_farthest(self) -> Block:
-        while self._heap:
-            neg_when, _, block = self._heap[0]
-            if block in self._resident and self._next_use.get(block) == -neg_when:
+        heap = self._heap
+        resident = self._resident
+        next_use_get = self._next_use.get
+        while heap:
+            neg_when, _, block = heap[0]
+            if block in resident and next_use_get(block) == -neg_when:
                 return block
-            heapq.heappop(self._heap)
+            heapq.heappop(heap)
         raise ProtocolError("OPT heap empty with resident blocks")
 
     def touch(self, block: Block) -> None:

@@ -26,7 +26,7 @@ PolicyFactory = Callable[..., ReplacementPolicy]
 
 # Mutated only via register_policy at import/registration time, never
 # during a simulation run.
-_REGISTRY: Dict[str, PolicyFactory] = {  # repro: noqa SIM001
+_REGISTRY: Dict[str, PolicyFactory] = {  # repro: noqa SIM001 -- mutated only via register_policy at import time
     LRUPolicy.name: LRUPolicy,
     MRUPolicy.name: MRUPolicy,
     FIFOPolicy.name: FIFOPolicy,

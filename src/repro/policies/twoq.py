@@ -58,9 +58,10 @@ class TwoQPolicy(ReplacementPolicy):
         if len(self._a1in) > self.kin or not self._am:
             node = self._a1in.pop_back()
             victim = node.value
-            self._a1out[victim] = None
-            while len(self._a1out) > self.kout:
-                self._a1out.popitem(last=False)
+            a1out = self._a1out
+            a1out[victim] = None
+            while len(a1out) > self.kout:
+                a1out.popitem(last=False)
         else:
             node = self._am.pop_back()
             victim = node.value

@@ -19,7 +19,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.runner.spec import RunSpec
 from repro.sim.results import RunResult
@@ -35,11 +35,18 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, spec: RunSpec) -> Optional[RunResult]:
+    def get(
+        self,
+        spec: RunSpec,
+        accept: Optional[Callable[[RunResult], bool]] = None,
+    ) -> Optional[RunResult]:
         """The stored result for ``spec``, or ``None`` on a miss.
 
         Unreadable or mismatched entries are treated as misses (the run
-        recomputes and overwrites them) rather than raised.
+        recomputes and overwrites them) rather than raised. ``accept``
+        lets the caller veto an otherwise-valid entry — e.g. refusing a
+        derived result whose derivation is no longer trusted for this
+        spec — which also counts as a miss.
         """
         path = self._path(spec.spec_hash())
         try:
@@ -49,9 +56,12 @@ class ResultCache:
         if payload.get("spec") != spec.to_dict():
             return None
         try:
-            return RunResult.from_dict(payload["result"])
+            result = RunResult.from_dict(payload["result"])
         except (KeyError, TypeError):
             return None
+        if accept is not None and not accept(result):
+            return None
+        return result
 
     def put(self, spec: RunSpec, result: RunResult) -> Path:
         """Store ``result`` under ``spec``'s hash (atomic replace)."""

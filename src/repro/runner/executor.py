@@ -29,7 +29,7 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.runner.cache import ResultCache
@@ -121,11 +121,14 @@ def execute_spec(
 
         scheme = InvariantCheckedScheme(scheme, every=check_invariants)
     costs = spec.build_costs()
-    started = time.perf_counter()
+    # Wall time lands only in TIMING_EXTRAS, which RunResult.comparable()
+    # strips before any hash or comparison — so the clock reads below
+    # cannot leak into cached payloads.
+    started = time.perf_counter()  # repro: noqa FLOW001 -- timing extra only
     result = run_simulation(
         scheme, trace, costs, warmup_fraction=spec.warmup_fraction
     )
-    wall = time.perf_counter() - started
+    wall = time.perf_counter() - started  # repro: noqa FLOW001 -- timing extra only
     extras = dict(result.extras)
     extras["wall_time_s"] = wall
     extras["refs_per_s"] = len(trace) / wall if wall > 0 else 0.0
@@ -140,6 +143,27 @@ def _execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
         RunSpec.from_dict(spec_dict), check_invariants=check_every
     )
     return result.to_dict()
+
+
+def _cache_accept(spec: RunSpec) -> Callable[[RunResult], bool]:
+    """Serving guard for cached entries of ``spec``.
+
+    MRC-derived entries (PR 4) are stored under the same spec hashes a
+    point simulation would use, which is sound only while the spec's
+    scheme remains MRC-derivable. If eligibility changes (a scheme
+    gains kwargs, goes multi-client, or ``supports_scheme`` tightens),
+    a stale ``mrc_derived`` entry must be re-simulated, not served.
+    """
+    def accept(result: RunResult) -> bool:
+        if not result.extras.get("mrc_derived"):
+            return True
+        from repro.analysis.mrc import supports_scheme
+
+        return supports_scheme(
+            spec.scheme, dict(spec.scheme_kwargs), spec.num_clients
+        )
+
+    return accept
 
 
 def run_specs(
@@ -167,7 +191,11 @@ def run_specs(
     results: List[Optional[RunResult]] = [None] * len(specs)
     pending: List[int] = []
     for index, spec in enumerate(specs):
-        cached = cache.get(spec) if cache is not None else None
+        cached = (
+            cache.get(spec, accept=_cache_accept(spec))
+            if cache is not None
+            else None
+        )
         if cached is not None:
             results[index] = cached
         else:

@@ -29,6 +29,7 @@ from repro.workloads.base import Trace
 DEFAULT_WARMUP = 0.1
 
 
+# repro: hot
 def _drive(
     scheme: MultiLevelScheme,
     trace: Trace,

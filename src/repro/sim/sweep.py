@@ -95,7 +95,7 @@ def _derive_points(
     """One MRC pass -> RunResults for every server size, timing stamped."""
     from repro.analysis.mrc import derive_sweep_results
 
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: noqa FLOW001 -- timing extra only
     derived = derive_sweep_results(
         scheme_spec.name,  # type: ignore[attr-defined]
         trace,
@@ -106,7 +106,10 @@ def _derive_points(
         scheme_kwargs=dict(scheme_spec.kwargs),  # type: ignore[attr-defined]
     )
     # The profiling pass is shared by every point; attribute it evenly.
-    wall = (time.perf_counter() - started) / max(1, len(derived))
+    # (Wall time only feeds TIMING_EXTRAS, stripped by comparable().)
+    wall = (time.perf_counter() - started) / max(  # repro: noqa FLOW001 -- timing extra only
+        1, len(derived)
+    )
     return [
         _stamp_mrc_extras(result, wall, len(trace)) for result in derived
     ]
@@ -185,7 +188,9 @@ def sweep_server_size(
 
     mrc_labels = _mrc_labels(builders, num_clients, use_mrc)
     out: Dict[str, List[SweepPoint]] = {label: [] for label in builders}
-    for label in mrc_labels:
+    # Iterate builders (insertion order) and membership-test the label
+    # set: iterating mrc_labels directly would walk hash order.
+    for label in (l for l in builders if l in mrc_labels):
         out[label] = [
             SweepPoint(int(size), result)
             for size, result in zip(
@@ -258,7 +263,8 @@ def _sweep_specs(
     # use — the cache cannot tell (and need not care) how a result was
     # obtained.
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    for label in mrc_labels:
+    # builders order, not set order — see sweep_server_size.
+    for label in (l for l in builders if l in mrc_labels):
         label_rows = [
             (index, size, spec)
             for index, (row_label, size, spec) in enumerate(rows)

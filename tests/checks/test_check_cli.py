@@ -54,5 +54,92 @@ class TestCheckCommand:
         assert main(["check", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in ("DET001", "DET002", "SIM001", "ERR001",
-                     "ASSERT001", "FLT001", "SEED001", "API001"):
+                     "ASSERT001", "FLT001", "SEED001", "API001",
+                     "NOQA001", "FLOW001", "FLOW002", "FLOW003",
+                     "FLOW004"):
             assert code in out
+
+
+class TestDeepPass:
+    def test_own_tree_is_deep_clean(self, capsys):
+        assert main(["check", str(SRC_REPRO), "--deep"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "deep pass on" in out
+
+    def test_deep_reports_flow_findings(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "sim.py").write_text(
+            "import random  # repro: noqa DET001 -- fixture\n\n"
+            "def run_simulation(trace):\n"
+            "    return random.random()\n"
+        )
+        assert main(["check", str(pkg), "--deep",
+                     "--baseline", str(tmp_path / "none.json")]) == 1
+        out = capsys.readouterr().out
+        assert "FLOW001" in out
+
+    def test_sarif_format_parses(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main(["check", str(bad), "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+        results = run["results"]
+        assert [r["ruleId"] for r in results] == ["DET001"]
+        assert results[0]["level"] == "error"
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 1
+        assert region["startColumn"] >= 1
+
+    def test_output_writes_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        out_path = tmp_path / "report.sarif"
+        assert main(["check", str(bad), "--format", "sarif",
+                     "--output", str(out_path)]) == 1
+        payload = json.loads(out_path.read_text())
+        assert payload["runs"][0]["results"][0]["ruleId"] == "DET001"
+        # stdout gets a short summary, not the SARIF body
+        assert "DET001" not in capsys.readouterr().out.splitlines()[0]
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "fast.py").write_text(
+            "# repro: hot\ndef drive(refs):\n    return list(refs)\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        assert main(["check", str(pkg), "--deep",
+                     "--update-baseline", "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        payload = json.loads(baseline.read_text())
+        assert len(payload["findings"]) == 1
+        assert main(["check", str(pkg), "--deep",
+                     "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_update_hash_schema_roundtrip(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "spec.py").write_text(
+            "SPEC_VERSION = 1\n\n\n"
+            "class FooSpec:\n"
+            "    scheme: str\n\n"
+            "    def to_dict(self):\n"
+            "        return {\"scheme\": self.scheme}\n"
+        )
+        manifest = tmp_path / "schema.json"
+        assert main(["check", str(pkg), "--deep",
+                     "--update-hash-schema",
+                     "--hash-schema", str(manifest)]) == 0
+        capsys.readouterr()
+        payload = json.loads(manifest.read_text())
+        assert payload["spec_version"] == 1
+        assert payload["schema"]["FooSpec"]["hashed"] == ["scheme"]
+        assert main(["check", str(pkg), "--deep",
+                     "--baseline", str(tmp_path / "none.json"),
+                     "--hash-schema", str(manifest)]) == 0

@@ -324,21 +324,41 @@ class TestSEED001:
 
 
 class TestEngine:
-    def test_blanket_noqa_suppresses_every_rule(self, tmp_path):
+    def test_blanket_noqa_suppresses_every_rule_but_flags_itself(
+        self, tmp_path
+    ):
+        # The targeted rule is silenced, but the bare suppression is now
+        # itself a NOQA001 finding (suppressions must name their rules).
         findings, suppressed = lint(
             tmp_path, "mod.py",
             "import random  # repro: noqa\n",
         )
-        assert findings == []
+        assert [f.rule for f in findings] == ["NOQA001"]
         assert suppressed == 1
 
     def test_noqa_lists_multiple_rules(self, tmp_path):
         findings, suppressed = lint(
             tmp_path, "mod.py",
-            "assert rate == 0.5  # repro: noqa ASSERT001, FLT001\n",
+            "assert rate == 0.5  "
+            "# repro: noqa ASSERT001, FLT001 -- test fixture\n",
         )
         assert findings == []
         assert suppressed == 2
+
+    def test_unjustified_noqa_is_flagged(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "mod.py",
+            "assert rate == 0.5  # repro: noqa ASSERT001, FLT001\n",
+        )
+        assert [f.rule for f in findings] == ["NOQA001"]
+        assert "justification" in findings[0].message
+
+    def test_noqa_mention_in_string_is_not_flagged(self, tmp_path):
+        findings, _ = lint(
+            tmp_path, "mod.py",
+            'HELP = "suppress with # repro: noqa DET001"\n',
+        )
+        assert findings == []
 
     def test_noqa_for_other_rule_does_not_suppress(self, tmp_path):
         findings, _ = lint(

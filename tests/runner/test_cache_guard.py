@@ -1,0 +1,103 @@
+"""The ``mrc_derived`` cache-serving guard and the timing-extras audit.
+
+MRC-derived entries (stamped by the sweep fast path) live under the same
+spec hashes a point simulation would use. That is sound only while the
+spec stays MRC-derivable, so :func:`run_specs` refuses to *serve* a
+flagged entry for a spec :func:`supports_scheme` rejects — it
+re-simulates and overwrites instead. The audit half pins the contract
+the guard relies on: timing/derivation extras never reach
+``RunResult.comparable()`` and therefore never reach golden hashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.runner import CostSpec, ResultCache, RunSpec, WorkloadSpec
+from repro.runner.executor import _cache_accept, execute_spec, run_specs
+from repro.sim import paper_three_level
+from repro.sim.results import TIMING_EXTRAS
+from tests.core.golden_core import result_hash
+
+
+def make_spec(scheme: str = "unilru") -> RunSpec:
+    return RunSpec(
+        scheme=scheme,
+        capacities=(12, 12, 12),
+        workload=WorkloadSpec(
+            "synthetic", "zipf",
+            {"num_blocks": 40, "num_refs": 800, "seed": 3},
+        ),
+        costs=CostSpec.from_model(paper_three_level()),
+    )
+
+
+def as_derived(result):
+    """Stamp a result the way the sweep fast path does."""
+    extras = dict(result.extras)
+    extras["mrc_derived"] = 1.0
+    return replace(result, extras=extras)
+
+
+class TestAcceptPredicate:
+    def test_accept_veto_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run = make_spec()
+        result = execute_spec(run)
+        cache.put(run, result)
+        assert cache.get(run, accept=lambda r: False) is None
+        hit = cache.get(run, accept=lambda r: True)
+        assert hit is not None and hit.to_dict() == result.to_dict()
+
+    def test_cache_accept_checks_mrc_eligibility(self):
+        plain = execute_spec(make_spec("unilru"))
+        derived = as_derived(plain)
+        eligible = _cache_accept(make_spec("unilru"))
+        blocked = _cache_accept(make_spec("ulc"))
+        # Non-derived entries are always servable; derived ones only for
+        # specs supports_scheme still accepts.
+        assert eligible(plain) and eligible(derived)
+        assert blocked(plain)
+        assert not blocked(derived)
+
+
+class TestRunSpecsGuard:
+    def test_eligible_spec_serves_derived_entry(self, tmp_path):
+        run = make_spec("unilru")
+        cache = ResultCache(tmp_path)
+        cache.put(run, as_derived(execute_spec(run)))
+        (served,) = run_specs([run], cache_dir=tmp_path)
+        assert served.extras.get("mrc_derived")
+
+    def test_ineligible_spec_resimulates_derived_entry(self, tmp_path):
+        run = make_spec("ulc")  # adaptive protocol: never MRC-derivable
+        cache = ResultCache(tmp_path)
+        cache.put(run, as_derived(execute_spec(run)))
+        (fresh,) = run_specs([run], cache_dir=tmp_path)
+        assert not fresh.extras.get("mrc_derived")
+        # ... and the re-simulated result replaced the stale entry.
+        stored = cache.get(run)
+        assert stored is not None
+        assert not stored.extras.get("mrc_derived")
+
+
+class TestTimingExtrasAudit:
+    def test_stamped_extras_are_exactly_the_timing_set(self):
+        result = execute_spec(make_spec())
+        stamped = set(result.extras) & TIMING_EXTRAS
+        assert stamped == {"wall_time_s", "refs_per_s"}
+        assert "mrc_derived" in TIMING_EXTRAS
+
+    def test_comparable_strips_every_timing_extra(self):
+        result = as_derived(execute_spec(make_spec()))
+        comparable = result.comparable()
+        assert not set(comparable["extras"]) & TIMING_EXTRAS
+
+    def test_golden_hash_blind_to_timing_extras(self):
+        base = execute_spec(make_spec())
+        extras = dict(base.extras)
+        extras.update(
+            {"wall_time_s": 123.0, "refs_per_s": 1.0, "mrc_derived": 1.0}
+        )
+        restamped = replace(base, extras=extras)
+        assert result_hash(restamped) == result_hash(base)
