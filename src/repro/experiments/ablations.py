@@ -24,7 +24,7 @@ from repro.core.multi import NOTIFY_IMMEDIATE, NOTIFY_PIGGYBACK
 from repro.experiments.scaling import Scale, resolve_scale
 from repro.hierarchy import ULCScheme, UnifiedLRUScheme
 from repro.runner import CostSpec, RunSpec, WorkloadSpec, run_specs
-from repro.sim import custom, paper_three_level, run_simulation
+from repro.sim import Engine, custom, paper_three_level
 from repro.util.tables import format_table
 from repro.workloads import make_large_workload, make_multi_workload
 
@@ -153,7 +153,7 @@ def run_reload_window(
     rows: List[List[object]] = []
 
     demote = UnifiedLRUMultiScheme([capacity, 2 * capacity])
-    result = run_simulation(demote, trace, costs)
+    result = Engine(demote, costs).drive(trace)
     rows.append(
         [
             "uniLRU demote",
@@ -167,7 +167,7 @@ def run_reload_window(
         scheme = EvictionBasedScheme(
             [capacity, 2 * capacity], reload_delay=int(delay)
         )
-        result = run_simulation(scheme, trace, costs)
+        result = Engine(scheme, costs).drive(trace)
         rows.append(
             [
                 f"reload (window {int(delay)})",
@@ -488,7 +488,7 @@ def run_partitioning(
             ("static shares", ULCStaticPartitionScheme(
                 [client_blocks, server_blocks], clients)),
         ]:
-            result = run_simulation(scheme, skewed, costs)
+            result = Engine(scheme, costs).drive(skewed)
             rows.append(
                 [
                     name,
@@ -663,7 +663,7 @@ def run_congestion(
         ("uniLRU", lambda: UnifiedLRUMultiScheme([capacity, 2 * capacity])),
         ("ULC", lambda: ULCScheme([capacity, 2 * capacity])),
     ]:
-        result = run_simulation(factory(), trace, costs)
+        result = Engine(factory(), costs).drive(trace)
         row: List[object] = [
             name,
             result.t_ave_ms,

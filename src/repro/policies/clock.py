@@ -3,26 +3,27 @@
 CLOCK approximates LRU with a circular scan and per-block reference bits;
 it is what most operating systems actually run, so it serves as a
 realistic stand-in for "the client's kernel page cache" in ablations.
+
+The ring is the same flat-array slab queue as
+:class:`~repro.policies.lru.LRUPolicy` (head = hand position, tail =
+most recent insert) with the reference bits in a parallel array indexed
+by slab slot. A hit only sets a bit — no splice — so batched all-hit
+stretches reduce to setting the distinct blocks' bits, order-free.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import List, Optional
+
+import numpy as np
 
 from repro.errors import ProtocolError
-from repro.policies.base import Block, ReplacementPolicy
-from repro.util.linkedlist import DoublyLinkedList, ListNode
+from repro.policies.base import Block
+from repro.policies.lru import _DEDUPE_THRESHOLD, LRUPolicy
+from repro.util.intlist import SENTINEL
 
 
-class _ClockEntry:
-    __slots__ = ("block", "referenced")
-
-    def __init__(self, block: Block) -> None:
-        self.block = block
-        self.referenced = False
-
-
-class CLOCKPolicy(ReplacementPolicy):
+class CLOCKPolicy(LRUPolicy):
     """Second-chance replacement over a circular list of blocks.
 
     The hand sweeps from the oldest entry; entries with the reference bit
@@ -34,49 +35,57 @@ class CLOCKPolicy(ReplacementPolicy):
 
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
-        # Head = hand position (next candidate), tail = most recent insert.
-        self._ring: DoublyLinkedList[_ClockEntry] = DoublyLinkedList()
-        self._nodes: Dict[Block, ListNode[_ClockEntry]] = {}
+        # Reference bit per slab slot (parallel to _block_at).
+        self._refbit: List[bool] = [False]
 
-    def __contains__(self, block: Block) -> bool:
-        return block in self._nodes
-
-    def __len__(self) -> int:
-        return len(self._nodes)
+    def _alloc(self, block: Block) -> int:
+        slot = super()._alloc(block)
+        if slot == len(self._refbit):
+            self._refbit.append(False)
+        else:
+            self._refbit[slot] = False
+        return slot
 
     def touch(self, block: Block) -> None:
-        self._require_resident(block)
-        self._nodes[block].value.referenced = True
+        slot = self._slots.get(block)
+        if slot is None:
+            self._require_resident(block)
+            return  # pragma: no cover - _require_resident raised
+        self._refbit[slot] = True
 
-    def _advance_to_victim(self) -> ListNode[_ClockEntry]:
-        """Sweep the hand, clearing reference bits, to the next victim."""
-        ring = self._ring
-        while True:
-            node = ring.head
-            if node is None:  # pragma: no cover - guarded by callers
-                raise ProtocolError("clock sweep on empty ring")
-            entry = node.value
-            if entry.referenced:
-                entry.referenced = False
-                ring.move_to_back(node)
-            else:
-                return node
+    def _touch_segment(self, seg: np.ndarray) -> None:
+        """Hits only set reference bits — order-free, so no replay."""
+        slots = self._slots
+        refbit = self._refbit
+        if seg.shape[0] <= _DEDUPE_THRESHOLD:
+            blocks = seg.tolist()
+        else:
+            blocks = np.unique(seg).tolist()
+        for block in blocks:
+            refbit[slots[block]] = True
 
     def insert(self, block: Block) -> List[Block]:
         self._require_absent(block)
         evicted: List[Block] = []
-        if self.full:
-            victim_node = self._advance_to_victim()
-            self._ring.remove(victim_node)
-            del self._nodes[victim_node.value.block]
-            evicted.append(victim_node.value.block)
-        entry = _ClockEntry(block)
-        self._nodes[block] = self._ring.push_back(ListNode(entry))
+        stack = self._stack
+        if len(self._slots) >= self.capacity:
+            # Sweep the hand (ring head), clearing reference bits, to
+            # the first second-chance-exhausted entry.
+            refbit = self._refbit
+            nxt = stack.next
+            while True:
+                head = nxt[SENTINEL]
+                if head == SENTINEL:  # pragma: no cover - capacity >= 1
+                    raise ProtocolError("clock sweep on empty ring")
+                if refbit[head]:
+                    refbit[head] = False
+                    stack.move_to_back(head)
+                else:
+                    break
+            stack.remove(head)
+            evicted.append(self._release(head))
+        stack.push_back(self._alloc(block))
         return evicted
-
-    def remove(self, block: Block) -> None:
-        self._require_resident(block)
-        self._ring.remove(self._nodes.pop(block))
 
     def victim(self) -> Optional[Block]:
         """Predict the next eviction without moving the hand.
@@ -85,13 +94,11 @@ class CLOCKPolicy(ReplacementPolicy):
         the first entry (in hand order) with a clear reference bit, or the
         current hand position if every bit is set.
         """
-        if not self.full or not self._ring:
+        if not self.full or not self._stack.size:
             return None
-        for node in self._ring:
-            if not node.value.referenced:
-                return node.value.block
-        return self._ring.head.value.block  # type: ignore[union-attr]
-
-    def resident(self) -> Iterator[Block]:
-        for node in self._ring:
-            yield node.value.block
+        refbit = self._refbit
+        block_at = self._block_at
+        for slot in self._stack:
+            if not refbit[slot]:
+                return block_at[slot]
+        return block_at[self._stack.next[SENTINEL]]

@@ -2,55 +2,31 @@
 
 FIFO ignores references after insertion; it is included as a cheap
 baseline and as the building block of the CLOCK approximation.
+
+Structurally FIFO is LRU with the recency movement deleted: the same
+slab queue (insert at the front, evict at the back), but :meth:`touch`
+leaves the order alone. Subclassing :class:`~repro.policies.lru.LRUPolicy`
+buys the flat-array kernel, the residency bitmap and the batched
+``access_batch`` / ``hit_run`` fast paths for free — an all-hit stretch
+is a no-op here, which makes FIFO the cheapest policy to batch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+import numpy as np
 
-from repro.policies.base import Block, ReplacementPolicy
-from repro.util.linkedlist import DoublyLinkedList, ListNode
+from repro.policies.base import Block
+from repro.policies.lru import LRUPolicy
 
 
-class FIFOPolicy(ReplacementPolicy):
+class FIFOPolicy(LRUPolicy):
     """Evict the block that has been resident longest."""
 
     name = "fifo"
-
-    def __init__(self, capacity: int) -> None:
-        super().__init__(capacity)
-        self._queue: DoublyLinkedList[Block] = DoublyLinkedList()
-        self._nodes: Dict[Block, ListNode[Block]] = {}
-
-    def __contains__(self, block: Block) -> bool:
-        return block in self._nodes
-
-    def __len__(self) -> int:
-        return len(self._nodes)
 
     def touch(self, block: Block) -> None:
         self._require_resident(block)
         # FIFO position is fixed at insertion time.
 
-    def insert(self, block: Block) -> List[Block]:
-        self._require_absent(block)
-        evicted: List[Block] = []
-        if self.full:
-            victim_node = self._queue.pop_back()
-            del self._nodes[victim_node.value]
-            evicted.append(victim_node.value)
-        self._nodes[block] = self._queue.push_front(ListNode(block))
-        return evicted
-
-    def remove(self, block: Block) -> None:
-        self._require_resident(block)
-        self._queue.remove(self._nodes.pop(block))
-
-    def victim(self) -> Optional[Block]:
-        if not self.full or not self._queue:
-            return None
-        return self._queue.tail.value  # type: ignore[union-attr]
-
-    def resident(self) -> Iterator[Block]:
-        """Iterate blocks from newest to oldest insertion."""
-        return self._queue.values()
+    def _touch_segment(self, seg: np.ndarray) -> None:
+        """An all-resident stretch has no effect under FIFO."""

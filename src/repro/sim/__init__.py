@@ -17,7 +17,12 @@ from repro.sim.congestion import (
     link_transfers_per_ref,
     saturation_rate,
 )
-from repro.sim.engine import DEFAULT_WARMUP, run_simulation, run_with_collector
+from repro.sim.engine import (
+    DEFAULT_WARMUP,
+    Engine,
+    run_simulation,
+    run_with_collector,
+)
 from repro.sim.metrics import MetricsCollector
 from repro.sim.results import (
     TIMING_EXTRAS,
@@ -39,6 +44,7 @@ __all__ = [
     "LAN_MS",
     "SAN_MS",
     "DISK_MS",
+    "Engine",
     "run_simulation",
     "LinkLoad",
     "congested_access_time",

@@ -5,19 +5,36 @@ Feeds a :class:`~repro.workloads.base.Trace` through a
 a leading fraction of the trace (the paper uses the first tenth) and
 collecting metrics over the remainder.
 
-:func:`run_simulation` is the canonical entry point — it drives the
-trace and packages a :class:`~repro.sim.results.RunResult`.
-:func:`run_with_collector` exposes the raw
-:class:`~repro.sim.metrics.MetricsCollector` for tests and custom
-analyses. Both are thin wrappers over one internal drive loop
-(:func:`_drive`), so warm-up handling and iteration order cannot
+:class:`Engine` is the one drive entry point: construct it with a scheme
+(and a cost model for packaged results) and call :meth:`Engine.drive`
+for a :class:`~repro.sim.results.RunResult` or :meth:`Engine.collect`
+for the raw :class:`~repro.sim.metrics.MetricsCollector`. Both run the
+same internal loops, so warm-up handling and iteration order cannot
 diverge between them.
+
+``batch_size`` selects the *batched* drive loop: the trace is cut into
+chunks and each chunk's leading stretch of pure level-1 hits is consumed
+by the scheme's ``access_hit_run`` kernel (vectorised for the
+array-backed schemes) and folded into the metrics in bulk; the first
+reference that is anything but a trivial hit falls back to the exact
+per-reference step. Results are bit-identical to the per-reference loop
+— the golden digests in ``tests/core/test_slab_equivalence.py`` pin
+this — batching only changes how fast the answer arrives.
+
+The former free functions :func:`run_simulation` and
+:func:`run_with_collector` survive as thin deprecated shims over
+:class:`Engine` (``repro check`` rule API002 keeps the tree itself off
+them).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
+import numpy as np
+
+from repro.errors import ConfigurationError
 from repro.hierarchy.base import MultiLevelScheme
 from repro.sim.costs import CostModel
 from repro.sim.metrics import MetricsCollector
@@ -27,6 +44,13 @@ from repro.workloads.base import Trace
 
 #: The paper's warm-up fraction ("the first one tenth of block references").
 DEFAULT_WARMUP = 0.1
+
+# Cap on the scalar back-off run between empty hit-run probes in the
+# batched drive: bounds the amortised probe cost on miss-heavy streams
+# (one O(batch_size) probe per _MAX_SCALAR_RUN references) while a
+# transition back into a hit stretch costs at most this many scalar
+# steps before the fast path re-engages.
+_MAX_SCALAR_RUN = 32
 
 
 # repro: hot
@@ -70,27 +94,234 @@ def _drive(
     return warmup_count
 
 
+# repro: hot
+def _drive_batched(
+    scheme: MultiLevelScheme,
+    trace: Trace,
+    warmup_fraction: float,
+    metrics: MetricsCollector,
+    batch_size: int,
+) -> int:
+    """The batched drive loop: bit-identical to :func:`_drive`.
+
+    Each chunk alternates between the scheme's ``access_hit_run`` fast
+    path (consume a stretch of pure level-1 hits, record them in bulk —
+    :meth:`MetricsCollector.record_l1_hits` is exactly n ``record``
+    calls for such events) and one exact per-reference ``access`` step
+    for the reference that stopped the run. Warm-up is handled by
+    clipping each consumed run against the warm-up boundary, so the
+    recorded counters match the split loops of :func:`_drive` reference
+    for reference.
+
+    Every hit-run kernel pays O(window) per probe (array conversion or
+    a bitmap gather over the whole window), so probing a full window
+    after every miss would make a miss-heavy stream O(n * batch_size).
+    Empty probes therefore back off: the loop single-steps a doubling
+    run of references (capped at ``_MAX_SCALAR_RUN``) between probes
+    until one consumes again. Single-stepped references go through the
+    exact ``access`` and runs are prefix-exact whatever the probe
+    cadence, so the backoff changes throughput only, never results.
+    """
+    check_fraction("warmup_fraction", warmup_fraction)
+    n = len(trace)
+    warmup_count = int(n * warmup_fraction)
+    blocks_arr = trace.blocks
+    blocks = memoryview(blocks_arr)
+    access = scheme.access
+    record = metrics.record
+    record_hits = metrics.record_l1_hits
+    index = 0
+    if trace.clients.any():
+        clients_arr = trace.clients
+        clients = memoryview(clients_arr)
+        run = scheme.access_hit_run_multi
+        num_clients = metrics.num_clients
+        scalar_run = 1
+        while index < n:
+            end = index + batch_size
+            if end > n:
+                end = n
+            consumed = run(
+                clients_arr[index:end], blocks_arr[index:end]
+            )
+            if consumed:
+                if consumed >= _MAX_SCALAR_RUN:
+                    scalar_run = 1
+                stop = index + consumed
+                measured_from = warmup_count if index < warmup_count \
+                    else index
+                if stop > measured_from:
+                    per_client = np.bincount(
+                        clients_arr[measured_from:stop],
+                        minlength=num_clients,
+                    )
+                    for client, count in enumerate(per_client.tolist()):
+                        if count:
+                            record_hits(client, count)
+                index = stop
+                if index >= end:
+                    continue
+            else:
+                scalar_run = min(scalar_run * 2, _MAX_SCALAR_RUN)
+            stop = index + scalar_run
+            if stop > n:
+                stop = n
+            while index < stop:
+                event = access(clients[index], blocks[index])
+                if index >= warmup_count:
+                    record(event)
+                index += 1
+    else:
+        run = scheme.access_hit_run
+        scalar_run = 1
+        while index < n:
+            end = index + batch_size
+            if end > n:
+                end = n
+            consumed = run(0, blocks_arr[index:end])
+            if consumed:
+                if consumed >= _MAX_SCALAR_RUN:
+                    scalar_run = 1
+                stop = index + consumed
+                measured_from = warmup_count if index < warmup_count \
+                    else index
+                if stop > measured_from:
+                    record_hits(0, stop - measured_from)
+                index = stop
+                if index >= end:
+                    continue
+            else:
+                scalar_run = min(scalar_run * 2, _MAX_SCALAR_RUN)
+            stop = index + scalar_run
+            if stop > n:
+                stop = n
+            while index < stop:
+                event = access(0, blocks[index])
+                if index >= warmup_count:
+                    record(event)
+                index += 1
+    return warmup_count
+
+
+def _check_batch_size(batch_size: Optional[int]) -> Optional[int]:
+    if batch_size is None:
+        return None
+    if isinstance(batch_size, bool) or not isinstance(batch_size, int):
+        raise ConfigurationError(
+            f"batch_size must be None or a positive int, got {batch_size!r}"
+        )
+    if batch_size < 1:
+        raise ConfigurationError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
+    return batch_size
+
+
+class Engine:
+    """The unified drive entry point.
+
+    One :class:`Engine` binds a scheme, an optional cost model and a
+    warm-up fraction; every way of pushing a trace through a hierarchy
+    (end-to-end runs, sweeps, tests on raw collectors) goes through
+    :meth:`drive` or :meth:`collect`.
+
+    Args:
+        scheme: the hierarchy to drive.
+        costs: cost model for packaged :class:`RunResult` s; optional
+            when only :meth:`collect` is used.
+        warmup_fraction: leading fraction of each trace that updates the
+            caches but is excluded from every metric.
+    """
+
+    def __init__(
+        self,
+        scheme: MultiLevelScheme,
+        costs: Optional[CostModel] = None,
+        warmup_fraction: float = DEFAULT_WARMUP,
+    ) -> None:
+        check_fraction("warmup_fraction", warmup_fraction)
+        self.scheme = scheme
+        self.costs = costs
+        self.warmup_fraction = warmup_fraction
+
+    def _run(
+        self,
+        trace: Trace,
+        metrics: MetricsCollector,
+        batch_size: Optional[int],
+    ) -> int:
+        batch_size = _check_batch_size(batch_size)
+        scheme = self.scheme
+        if batch_size is not None and getattr(
+            scheme, "supports_batch", False
+        ):
+            return _drive_batched(
+                scheme, trace, self.warmup_fraction, metrics, batch_size
+            )
+        return _drive(scheme, trace, self.warmup_fraction, metrics)
+
+    def drive(
+        self, trace: Trace, *, batch_size: Optional[int] = None
+    ) -> RunResult:
+        """Drive ``trace`` through the scheme; return the measured result.
+
+        ``batch_size`` (references per chunk) engages the batched drive
+        loop for schemes advertising
+        :attr:`~MultiLevelScheme.supports_batch`; ``None`` runs the
+        per-reference loop. The results are identical either way.
+        """
+        if self.costs is None:
+            raise ConfigurationError(
+                "Engine.drive needs a cost model: construct the Engine "
+                "with costs=..., or use Engine.collect for raw counters"
+            )
+        metrics = MetricsCollector(
+            self.scheme.num_levels, self.scheme.num_clients
+        )
+        warmup_count = self._run(trace, metrics, batch_size)
+        return result_from_metrics(
+            self.scheme.name,
+            trace.info.name,
+            list(self.scheme.capacities),
+            metrics,
+            self.costs,
+            warmup_count,
+        )
+
+    def collect(
+        self,
+        trace: Trace,
+        *,
+        batch_size: Optional[int] = None,
+        collector: Optional[MetricsCollector] = None,
+    ) -> MetricsCollector:
+        """Drive ``trace`` and return the raw collector (tests,
+        custom analyses). Same loops as :meth:`drive`."""
+        metrics = collector or MetricsCollector(
+            self.scheme.num_levels, self.scheme.num_clients
+        )
+        self._run(trace, metrics, batch_size)
+        return metrics
+
+
 def run_simulation(
     scheme: MultiLevelScheme,
     trace: Trace,
     costs: CostModel,
     warmup_fraction: float = DEFAULT_WARMUP,
 ) -> RunResult:
-    """Drive ``trace`` through ``scheme`` and return the measured result.
+    """Deprecated shim: use ``Engine(scheme, costs).drive(trace)``.
 
-    The first ``warmup_fraction`` of references updates the caches but is
-    excluded from every metric.
+    Kept (for one release) so existing callers continue to work; the
+    behaviour is identical to the Engine path it forwards to.
     """
-    metrics = MetricsCollector(scheme.num_levels, scheme.num_clients)
-    warmup_count = _drive(scheme, trace, warmup_fraction, metrics)
-    return result_from_metrics(
-        scheme.name,
-        trace.info.name,
-        list(scheme.capacities),
-        metrics,
-        costs,
-        warmup_count,
+    warnings.warn(
+        "run_simulation() is deprecated; use "
+        "Engine(scheme, costs, warmup_fraction=...).drive(trace)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return Engine(scheme, costs, warmup_fraction=warmup_fraction).drive(trace)
 
 
 def result_from_metrics(
@@ -104,7 +335,7 @@ def result_from_metrics(
     """Package a collector's counters into a :class:`RunResult`.
 
     This is the *single* place the measured counters turn into reported
-    rates and time components; :func:`run_simulation` and the analytic
+    rates and time components; :meth:`Engine.drive` and the analytic
     miss-ratio-curve engine (:mod:`repro.analysis.mrc`) both go through
     it, so a curve-derived result is arithmetically identical to a
     simulated one whenever the underlying counters agree. The time
@@ -184,10 +415,13 @@ def run_with_collector(
     warmup_fraction: float = DEFAULT_WARMUP,
     collector: Optional[MetricsCollector] = None,
 ) -> MetricsCollector:
-    """Lower-level entry point returning the raw collector (tests,
-    custom analyses). Same drive loop as :func:`run_simulation`."""
-    metrics = collector or MetricsCollector(
-        scheme.num_levels, scheme.num_clients
+    """Deprecated shim: use ``Engine(scheme).collect(trace)``."""
+    warnings.warn(
+        "run_with_collector() is deprecated; use "
+        "Engine(scheme, warmup_fraction=...).collect(trace)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    _drive(scheme, trace, warmup_fraction, metrics)
-    return metrics
+    return Engine(scheme, warmup_fraction=warmup_fraction).collect(
+        trace, collector=collector
+    )

@@ -31,13 +31,14 @@ curves are interchangeable.
 from __future__ import annotations
 
 import time  # repro: noqa DET001 -- wall-clock timing is metadata, not simulation output
+import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 from repro.hierarchy.base import MultiLevelScheme
 from repro.sim.costs import CostModel
-from repro.sim.engine import DEFAULT_WARMUP, run_simulation
+from repro.sim.engine import DEFAULT_WARMUP, Engine
 from repro.sim.results import RunResult
 from repro.workloads.base import Trace
 
@@ -185,6 +186,16 @@ def sweep_server_size(
             f"{type(trace).__name__} with builder types "
             f"{sorted({type(b).__name__ for b in builders.values()})}"
         )
+    if any(
+        not isinstance(builder, SchemeSpec) for builder in builders.values()
+    ):
+        warnings.warn(
+            "legacy callable builders are deprecated; pass SchemeSpec "
+            "builders (with a WorkloadSpec trace) so sweeps can use the "
+            "executor, the result cache and the MRC shortcut",
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
     mrc_labels = _mrc_labels(builders, num_clients, use_mrc)
     out: Dict[str, List[SweepPoint]] = {label: [] for label in builders}
@@ -221,9 +232,9 @@ def sweep_server_size(
                 scheme = InvariantCheckedScheme(
                     scheme, every=check_invariants
                 )
-            result = run_simulation(
-                scheme, trace, costs, warmup_fraction=warmup_fraction
-            )
+            result = Engine(
+                scheme, costs, warmup_fraction=warmup_fraction
+            ).drive(trace)
             out[label].append(SweepPoint(int(server_size), result))
     return out
 

@@ -1,0 +1,104 @@
+"""Hypothesis lockstep: ``access_batch`` vs repeated ``access``.
+
+The batch tier's contract is that the default per-reference loop *is*
+the specification: for every registered policy, driving one instance
+through ``access_batch`` and a twin through repeated ``access`` must
+produce identical hit masks, identical eviction streams (order
+included), identical per-reference eviction attribution, and identical
+final structures — across arbitrary batch boundaries, including ones
+that straddle evictions mid-batch (the capacities here are tiny so
+almost every batch evicts).
+
+This pins both sides of the redesign: the vectorised LRU/MRU/FIFO/CLOCK
+kernels against the exact loop, and every other policy's inherited
+default against the single-step path it wraps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.registry import available_policies, make_policy
+
+
+def drive_scalar(policy, blocks):
+    """The specification side: repeated access, per-ref bookkeeping."""
+    hits = []
+    evicted = []
+    offsets = [0]
+    for block in blocks:
+        result = policy.access(block)
+        hits.append(result.hit)
+        evicted.extend(result.evicted)
+        offsets.append(len(evicted))
+    return hits, evicted, offsets
+
+
+@pytest.mark.parametrize("name", available_policies())
+class TestBatchLockstep:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_batches_match_single_steps(self, name, data):
+        capacity = data.draw(st.integers(2, 8), label="capacity")
+        batched = make_policy(name, capacity)
+        scalar = make_policy(name, capacity)
+        blocks = data.draw(
+            st.lists(st.integers(0, capacity * 3), max_size=150),
+            label="blocks",
+        )
+        index = 0
+        while index < len(blocks):
+            size = data.draw(st.integers(1, 20), label="batch_size")
+            chunk = blocks[index:index + size]
+            index += size
+            # Alternate list and ndarray inputs: arrays engage the
+            # vectorised kernels, lists the exact default loop.
+            if data.draw(st.booleans(), label="as_array"):
+                result = batched.access_batch(np.asarray(chunk, dtype=np.int64))
+            else:
+                result = batched.access_batch(chunk)
+            want_hits, want_evicted, want_offsets = drive_scalar(
+                scalar, chunk
+            )
+            assert [bool(flag) for flag in result.hits] == want_hits
+            assert list(result.evicted) == want_evicted
+            assert list(result.offsets) == want_offsets
+            assert len(result) == len(chunk)
+            assert result.hit_count == sum(want_hits)
+            for ref in range(len(chunk)):
+                assert list(result.evicted_by(ref)) == list(
+                    want_evicted[want_offsets[ref]:want_offsets[ref + 1]]
+                )
+            per_ref = list(result.results())
+            assert [r.hit for r in per_ref] == want_hits
+            batched.check_invariants()
+            scalar.check_invariants()
+        assert batched.victim() == scalar.victim()
+        assert list(batched.resident()) == list(scalar.resident())
+        assert len(batched) == len(scalar)
+
+    @settings(max_examples=10, deadline=None)
+    @given(blocks=st.lists(st.integers(0, 30), max_size=60))
+    def test_hit_run_is_all_hit_prefix(self, name, blocks):
+        """``hit_run`` consumes exactly the all-resident prefix and is
+        state-identical to touching it per reference."""
+        runner = make_policy(name, 6)
+        twin = make_policy(name, 6)
+        for block in blocks:
+            runner.access(block)
+            twin.access(block)
+        probe = blocks[::-1] + [97, 98]
+        consumed = runner.hit_run(np.asarray(probe, dtype=np.int64))
+        prefix = 0
+        for block in probe:
+            if block not in twin:
+                break
+            twin.touch(block)
+            prefix += 1
+        assert consumed == prefix
+        runner.check_invariants()
+        twin.check_invariants()
+        assert list(runner.resident()) == list(twin.resident())

@@ -1,0 +1,170 @@
+"""The batched drive loop: bit-identical results, deprecation shims.
+
+The batch-API redesign promises that ``Engine.drive(trace,
+batch_size=...)`` produces the *same* ``RunResult`` — down to the
+content hash — as the per-reference loop, for every batch size and
+every scheme (batch-capable or not). These tests pin that promise:
+
+- against the committed golden digests (``tests/data/
+  golden_seed_core.json``), re-running the full seed scenario set with
+  the batched executor and requiring the seed-era hashes;
+- scalar-vs-batched on single- and multi-client schemes across batch
+  sizes chosen to straddle warm-up and trace boundaries;
+- plus the facade contract: validation of ``batch_size``, ``drive``
+  without costs, and the ``DeprecationWarning`` shims the API002 check
+  rule keeps the tree itself off.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hierarchy import (
+    IndependentScheme,
+    ULCMultiLevelScheme,
+    ULCMultiScheme,
+    ULCScheme,
+    UnifiedLRUScheme,
+)
+from repro.sim import Engine, paper_three_level, paper_two_level
+from repro.sim.engine import run_simulation, run_with_collector
+from repro.workloads import Trace, zipf_trace
+from tests.core.golden_core import result_hash
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent / "data" / "golden_seed_core.json"
+)
+
+
+def test_batched_executor_matches_golden_run_hashes():
+    """The full golden scenario set, executed batched, keeps the
+    seed-era content hashes (the tentpole's proof obligation)."""
+    from tests.core.golden_core import collect_run_hashes
+
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+    from repro.runner import executor
+
+    original = executor.execute_spec
+
+    def batched_execute(spec, check_invariants=None, batch_size=None):
+        return original(
+            spec, check_invariants=check_invariants, batch_size=512
+        )
+
+    executor.execute_spec = batched_execute
+    try:
+        hashes = collect_run_hashes(check_invariants=500)
+    finally:
+        executor.execute_spec = original
+    assert hashes == golden["run_hashes"]
+
+
+SINGLE_CLIENT_SCHEMES = (
+    lambda: ULCScheme([64, 128, 256]),
+    lambda: UnifiedLRUScheme([64, 128, 256]),
+    lambda: IndependentScheme([64, 128, 256]),
+)
+
+
+@pytest.mark.parametrize("make_scheme", SINGLE_CLIENT_SCHEMES)
+@pytest.mark.parametrize("batch_size", [1, 7, 333, 1024, 10_000])
+def test_single_client_batched_equals_scalar(make_scheme, batch_size):
+    trace = zipf_trace(num_blocks=512, num_refs=4000, seed=5)
+    costs = paper_three_level()
+    scalar = Engine(make_scheme(), costs).drive(trace)
+    batched = Engine(make_scheme(), costs).drive(
+        trace, batch_size=batch_size
+    )
+    assert result_hash(batched) == result_hash(scalar)
+    assert batched.comparable() == scalar.comparable()
+
+
+@pytest.mark.parametrize("batch_size", [1, 13, 256, 4096])
+def test_multi_client_batched_equals_scalar(batch_size):
+    blocks = zipf_trace(num_blocks=256, num_refs=3000, seed=9).blocks
+    trace = Trace(blocks, clients=[i % 3 for i in range(len(blocks))])
+    costs = paper_two_level()
+    scalar = Engine(ULCMultiScheme([32, 128], 3), costs).drive(trace)
+    batched = Engine(ULCMultiScheme([32, 128], 3), costs).drive(
+        trace, batch_size=batch_size
+    )
+    assert result_hash(batched) == result_hash(scalar)
+    assert batched.per_client == scalar.per_client
+
+
+def test_unbatchable_scheme_falls_back_to_scalar():
+    """A scheme without ``supports_batch`` ignores ``batch_size``."""
+    trace = zipf_trace(num_blocks=256, num_refs=2000, seed=4)
+    costs = paper_three_level()
+    assert not getattr(ULCMultiLevelScheme, "supports_batch", False)
+    scalar = Engine(ULCMultiLevelScheme([32, 64, 128], 1), costs).drive(trace)
+    batched = Engine(ULCMultiLevelScheme([32, 64, 128], 1), costs).drive(
+        trace, batch_size=64
+    )
+    assert result_hash(batched) == result_hash(scalar)
+
+
+def test_warmup_boundary_inside_a_hit_run():
+    """A consumed hit run straddling the warm-up boundary is clipped:
+    only the measured part lands in the counters."""
+    # 10 refs, warmup 0.3 -> 3 warm-up refs; block 1 stays a pure L1 hit
+    # across the boundary.
+    trace = Trace([1, 1, 1, 1, 1, 1, 1, 1, 1, 1])
+    engine = Engine(ULCScheme([4, 4]), paper_two_level(), warmup_fraction=0.3)
+    scalar = engine.drive(trace)
+    batched = engine.drive(trace, batch_size=1024)
+    assert batched.references == scalar.references == 7
+    assert batched.warmup_references == 3
+    assert result_hash(batched) == result_hash(scalar)
+
+
+class TestFacadeContract:
+    def test_invalid_batch_sizes_rejected(self):
+        engine = Engine(ULCScheme([4, 4]), paper_two_level())
+        trace = Trace([1, 2, 3])
+        for bad in (0, -1, True, 2.5, "16"):
+            with pytest.raises(ConfigurationError):
+                engine.drive(trace, batch_size=bad)
+
+    def test_drive_without_costs_raises(self):
+        engine = Engine(ULCScheme([4, 4]))
+        with pytest.raises(ConfigurationError):
+            engine.drive(Trace([1, 2, 3]))
+
+    def test_collect_without_costs_works(self):
+        metrics = Engine(ULCScheme([4, 4])).collect(
+            Trace([1, 2, 1, 1]), batch_size=2
+        )
+        assert metrics.references > 0
+
+    def test_run_simulation_shim_warns_and_matches(self):
+        trace = zipf_trace(num_blocks=64, num_refs=500, seed=2)
+        costs = paper_two_level()
+        with pytest.warns(DeprecationWarning, match="run_simulation"):
+            legacy = run_simulation(ULCScheme([8, 16]), trace, costs)
+        modern = Engine(ULCScheme([8, 16]), costs).drive(trace)
+        assert result_hash(legacy) == result_hash(modern)
+
+    def test_run_with_collector_shim_warns(self):
+        with pytest.warns(DeprecationWarning, match="run_with_collector"):
+            metrics = run_with_collector(ULCScheme([4, 4]), Trace([1, 2, 1]))
+        assert metrics.references > 0
+
+    def test_legacy_sweep_builders_warn(self):
+        from repro.sim import sweep_server_size
+
+        trace = zipf_trace(num_blocks=64, num_refs=400, seed=3)
+        with pytest.warns(DeprecationWarning, match="legacy callable"):
+            points = sweep_server_size(
+                {"uniLRU": lambda caps: UnifiedLRUScheme(caps)},
+                trace,
+                8,
+                [16, 32],
+                paper_two_level(),
+            )
+        assert len(points["uniLRU"]) == 2
