@@ -5,16 +5,19 @@
 
 PYTHON ?= python
 
-.PHONY: check check-shallow check-deep lint test bench bench-batched \
-	baseline hash-schema
+.PHONY: check check-shallow check-deep check-kernel lint test bench \
+	bench-batched baseline hash-schema
 
-check: lint check-shallow check-deep
+check: lint check-shallow check-deep check-kernel
 
 check-shallow:
 	$(PYTHON) -m repro check src/repro
 
 check-deep:
 	$(PYTHON) -m repro check src/repro --deep
+
+check-kernel:
+	$(PYTHON) -m repro check src/repro --kernel
 
 lint:
 	$(PYTHON) -m ruff check src tests
@@ -34,8 +37,10 @@ bench-batched:
 	$(PYTHON) -m repro bench --threshold 0.30 --batch-size 1024 \
 		--baseline BENCH_core_ops.json --output bench_batched.json
 
-# Maintenance: regenerate the deep-pass artefacts after reviewing that
-# the new findings / schema drift are intentional.
+# Maintenance: regenerate the deep/kernel-pass artefacts after
+# reviewing that the new findings / schema drift are intentional. The
+# baseline file is shared by --deep and --kernel; --update-baseline
+# rewrites it from both passes in one go.
 baseline:
 	$(PYTHON) -m repro check src/repro --deep --update-baseline
 

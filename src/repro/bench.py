@@ -147,6 +147,18 @@ def _drive_profile(trace) -> None:
     stack_distances(trace.blocks)
 
 
+def _drive_kernel_check() -> None:
+    """One kernel (slot-typestate) pass over the installed package, so
+    the smoke gate also guards the static-analysis latency developers
+    and CI pay on every ``make check``."""
+    from pathlib import Path
+
+    import repro
+    from repro.checks.kernel import run_kernel_checks
+
+    run_kernel_checks([Path(repro.__file__).resolve().parent])
+
+
 def _scenarios(
     num_refs: int, batch_size: int = BATCH_SIZE
 ) -> List[Tuple[str, Callable[[], None]]]:
@@ -200,6 +212,7 @@ def _scenarios(
     scenarios.append(
         ("mrc_stack_distances", lambda: _drive_profile(sweep_trace))
     )
+    scenarios.append(("check_kernel_pass", _drive_kernel_check))
     return scenarios
 
 

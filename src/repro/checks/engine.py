@@ -3,9 +3,10 @@
 Runs every AST rule (:mod:`repro.checks.rules`) over the requested
 files plus the registry-conformance pass
 (:mod:`repro.checks.registry_checks`) — and, with ``deep=True``, the
-whole-program dataflow pass (:mod:`repro.checks.flow`) — filters
-findings through ``# repro: noqa RULE`` line suppressions, and renders
-the survivors as a human report, JSON, or SARIF.
+whole-program dataflow pass (:mod:`repro.checks.flow`), and with
+``kernel=True``, the slot-typestate pass (:mod:`repro.checks.kernel`)
+— filters findings through ``# repro: noqa RULE`` line suppressions,
+and renders the survivors as a human report, JSON, or SARIF.
 
 Exit-code contract (the CLI returns these):
 
@@ -131,9 +132,10 @@ class CheckReport:
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
-    #: Findings subtracted by the committed deep-pass baseline.
+    #: Findings subtracted by the committed deep/kernel-pass baseline.
     baseline_suppressed: int = 0
     deep: bool = False
+    kernel: bool = False
 
     @property
     def exit_code(self) -> int:
@@ -176,11 +178,26 @@ def check_file(
     return sorted(visible), len(raw) - len(visible)
 
 
+def _validate_select(wanted: Set[str]) -> None:
+    """Unknown ``--select`` codes are a configuration error (exit 2),
+    not a silently-empty run (exit 0)."""
+    if not wanted:
+        return
+    known = {code for code, _, _ in all_rules()}
+    unknown = sorted(wanted - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown rule code(s) in --select: {', '.join(unknown)} "
+            f"(see 'repro check --list-rules')"
+        )
+
+
 def run_checks(
     paths: Sequence[Union[str, Path]],
     select: Iterable[str] = (),
     registry: bool = True,
     deep: bool = False,
+    kernel: bool = False,
     baseline: Optional[Union[str, Path]] = None,
     manifest: Optional[Union[str, Path]] = None,
 ) -> CheckReport:
@@ -193,13 +210,16 @@ def run_checks(
             meaningful when linting the repro tree itself).
         deep: also run the whole-program dataflow pass
             (:mod:`repro.checks.flow` — FLOW001..FLOW004).
-        baseline: deep-pass findings baseline file; ``None`` uses the
-            committed default.
+        kernel: also run the slot-typestate pass
+            (:mod:`repro.checks.kernel` — KER001..KER004).
+        baseline: deep/kernel-pass findings baseline file; ``None``
+            uses the committed default (shared by both passes).
         manifest: hash-schema manifest FLOW003 compares against;
             ``None`` uses the committed default.
     """
-    report = CheckReport(deep=deep)
+    report = CheckReport(deep=deep, kernel=kernel)
     wanted = set(select)
+    _validate_select(wanted)
     for path in iter_python_files(paths):
         findings, suppressed = check_file(path, select=wanted)
         report.findings.extend(findings)
@@ -222,6 +242,18 @@ def run_checks(
             )
             report.findings.extend(flow_report.findings)
             report.baseline_suppressed += flow_report.baseline_suppressed
+    if kernel:
+        from repro.checks.kernel import KERNEL_RULES, run_kernel_checks
+
+        kernel_select = sorted(wanted & set(KERNEL_RULES)) if wanted else None
+        if kernel_select is None or kernel_select:
+            kernel_report = run_kernel_checks(
+                paths,
+                select=kernel_select,
+                baseline_path=baseline,
+            )
+            report.findings.extend(kernel_report.findings)
+            report.baseline_suppressed += kernel_report.baseline_suppressed
     report.findings.sort()
     return report
 
@@ -229,6 +261,7 @@ def run_checks(
 def all_rules() -> List[Tuple[str, str, str]]:
     """Every rule as ``(code, summary, rationale)`` for ``--list-rules``."""
     from repro.checks.flow import FLOW_RULES
+    from repro.checks.kernel import KERNEL_RULES
     from repro.checks.registry_checks import RegistryConformance
 
     rules: List[Rule] = [cls() for cls in AST_RULES]
@@ -245,6 +278,10 @@ def all_rules() -> List[Tuple[str, str, str]]:
     ))
     for code in sorted(FLOW_RULES):
         out.append((code, FLOW_RULES[code], "Deep (whole-program) pass."))
+    for code in sorted(KERNEL_RULES):
+        out.append((
+            code, KERNEL_RULES[code], "Kernel (slot-typestate) pass."
+        ))
     return out
 
 
@@ -263,6 +300,7 @@ def format_findings(report: CheckReport, fmt: str = "human") -> str:
                 "suppressed": report.suppressed,
                 "baseline_suppressed": report.baseline_suppressed,
                 "deep": report.deep,
+                "kernel": report.kernel,
                 "exit_code": report.exit_code,
             },
             indent=2,
@@ -285,9 +323,13 @@ def format_findings(report: CheckReport, fmt: str = "human") -> str:
         f"{len(report.findings)} finding(s) in {report.files_checked} "
         f"file(s) ({report.suppressed} suppressed via noqa)"
     )
-    if report.deep:
+    if report.deep or report.kernel:
+        passes = "+".join(
+            name for name, on in (("deep", report.deep),
+                                  ("kernel", report.kernel)) if on
+        )
         summary += (
-            f" [deep pass on; {report.baseline_suppressed} baselined]"
+            f" [{passes} pass on; {report.baseline_suppressed} baselined]"
         )
     if lines:
         return "\n".join(lines) + "\n" + summary

@@ -8,8 +8,8 @@ tests and CI.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
 
 
 @dataclass(frozen=True, order=True)
@@ -22,6 +22,10 @@ class Finding:
         col: 0-based column.
         rule: rule code (``"DET001"``, ...).
         message: human-readable explanation.
+        steps: optional intraprocedural path to the violation, as
+            ``(line, description)`` pairs in program order. Rendered as
+            SARIF ``codeFlows``; excluded from baseline fingerprints
+            (those hash only ``rule|path|message``).
     """
 
     path: str
@@ -29,6 +33,7 @@ class Finding:
     col: int
     rule: str
     message: str
+    steps: Tuple[Tuple[int, str], ...] = field(default=())
 
     def format_human(self) -> str:
         """``path:line:col: RULE message`` (clickable in most terminals)."""
@@ -36,10 +41,15 @@ class Finding:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation (the ``--format json`` output rows)."""
-        return {
+        out: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
         }
+        if self.steps:
+            out["steps"] = [
+                {"line": line, "note": note} for line, note in self.steps
+            ]
+        return out

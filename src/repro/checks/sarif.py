@@ -42,27 +42,53 @@ def _rule_descriptors(
     ]
 
 
+def _location(path: str, line: int, col: int, note: str = "") -> dict:
+    physical = {
+        "artifactLocation": {
+            "uri": path.replace("\\", "/"),
+        },
+        "region": {
+            "startLine": max(1, line),
+            # SARIF columns are 1-based; Finding.col is the 0-based AST
+            # col_offset.
+            "startColumn": max(1, col + 1),
+        },
+    }
+    location: dict = {"physicalLocation": physical}
+    if note:
+        location["message"] = {"text": note}
+    return location
+
+
 def _result(finding: Finding) -> dict:
-    return {
+    result = {
         "ruleId": finding.rule,
         "level": "warning" if finding.rule in _WARNING_RULES else "error",
         "message": {"text": finding.message},
         "locations": [
-            {
-                "physicalLocation": {
-                    "artifactLocation": {
-                        "uri": finding.path.replace("\\", "/"),
-                    },
-                    "region": {
-                        "startLine": max(1, finding.line),
-                        # SARIF columns are 1-based; Finding.col is the
-                        # 0-based AST col_offset.
-                        "startColumn": max(1, finding.col + 1),
-                    },
-                }
-            }
+            _location(finding.path, finding.line, finding.col)
         ],
     }
+    if finding.steps:
+        # the intraprocedural path to the bad state (typestate pass) —
+        # rendered by SARIF viewers as a step-through trace
+        result["codeFlows"] = [
+            {
+                "threadFlows": [
+                    {
+                        "locations": [
+                            {
+                                "location": _location(
+                                    finding.path, line, 0, note
+                                )
+                            }
+                            for line, note in finding.steps
+                        ]
+                    }
+                ]
+            }
+        ]
+    return result
 
 
 def render_sarif(

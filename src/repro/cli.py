@@ -35,6 +35,7 @@ Usage::
     # simulator-aware static analysis (lint) over the source tree
     python -m repro check [PATH ...defaults to the installed package]
     python -m repro check src/repro --format json
+    python -m repro check src/repro --deep --kernel
     python -m repro check --list-rules
 
 ``figure6``, ``figure7``, ``ablations``, ``all`` and ``simulate`` accept
@@ -119,14 +120,18 @@ def _run_check(args: argparse.Namespace) -> int:
             run_flow_checks,
             write_baseline,
         )
+        from repro.checks.kernel import run_kernel_checks
 
-        # Baseline raw deep findings (run against an empty baseline).
+        # Baseline raw deep + kernel findings (run against an empty
+        # baseline) — both passes share one baseline file.
         flow_report = run_flow_checks(paths, baseline_path="/dev/null")
+        kernel_report = run_kernel_checks(paths, baseline_path="/dev/null")
+        combined = sorted(flow_report.findings + kernel_report.findings)
         written = write_baseline(
-            flow_report.findings, args.baseline or DEFAULT_BASELINE
+            combined, args.baseline or DEFAULT_BASELINE
         )
         print(
-            f"baseline written with {len(flow_report.findings)} "
+            f"baseline written with {len(combined)} "
             f"finding(s): {written}"
         )
         return 0
@@ -134,6 +139,7 @@ def _run_check(args: argparse.Namespace) -> int:
         paths,
         select=tuple(args.select or ()),
         deep=args.deep,
+        kernel=args.kernel,
         baseline=args.baseline,
         manifest=args.hash_schema,
     )
@@ -570,9 +576,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help=(
             "bench: JSON document to compare against (default: the "
-            "--output file's previous content); check --deep: findings "
-            "baseline to subtract (default: the committed "
-            "src/repro/checks/flow/baseline.json)"
+            "--output file's previous content); check --deep/--kernel: "
+            "findings baseline to subtract (default: the committed "
+            "src/repro/checks/flow/baseline.json, shared by both passes)"
         ),
     )
     bench.add_argument(
@@ -644,9 +650,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     check.add_argument(
+        "--kernel",
+        action="store_true",
+        help=(
+            "also run the slot-typestate pass over the slab/batch tier "
+            "(use-after-free + slot-leak + cross-slab + batch contract, "
+            "KER001..4)"
+        ),
+    )
+    check.add_argument(
         "--update-baseline",
         action="store_true",
-        help="rewrite the deep-pass baseline from the current findings",
+        help=(
+            "rewrite the shared deep+kernel baseline from the current "
+            "findings"
+        ),
     )
     check.add_argument(
         "--update-hash-schema",

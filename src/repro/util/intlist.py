@@ -114,7 +114,17 @@ class IntSlab:
         self._free.append(slot)
 
     def check_invariants(self) -> None:
-        """Validate allocator bookkeeping; raises :class:`ProtocolError`."""
+        """Validate allocator bookkeeping; raises :class:`ProtocolError`.
+
+        Beyond the free-pool checks, this validates the *conservation*
+        contract the static ``repro check --kernel`` pass proves from
+        the other side: ``allocated + free + sentinel == capacity``,
+        every attached list's arrays span exactly the slab's slot
+        space, and every slot linked in any attached list is an
+        allocated (non-free) slot reachable from exactly one position
+        of that list's chain (delegated to each list's own
+        :meth:`IntLinkedList.check_invariants`).
+        """
         if self.in_use != self._capacity - 1 - len(self._free):
             raise ProtocolError(
                 f"slab accounting broken: capacity={self._capacity}, "
@@ -133,6 +143,13 @@ class IntSlab:
                     raise ProtocolError(
                         f"free slot {slot} still linked in a list"
                     )
+        for lst in self._lists:
+            if len(lst.prev) != self._capacity:
+                raise ProtocolError(
+                    f"attached list arrays cover {len(lst.prev)} slots "
+                    f"but the slab capacity is {self._capacity}"
+                )
+            lst.check_invariants()
 
 
 class IntLinkedList:
@@ -344,8 +361,11 @@ class IntLinkedList:
 
         Checks that the linked slots form one circular chain through the
         sentinel with symmetric ``prev``/``next`` links, that ``size``
-        matches the chain length, and that every slot outside the chain
-        is fully unlinked (``prev == next == UNLINKED``).
+        matches the chain length, that every slot outside the chain
+        is fully unlinked (``prev == next == UNLINKED``), and the
+        slab-conservation half of the contract: no linked slot sits on
+        the slab free pool, and the chain never holds more slots than
+        the slab has allocated.
         """
         if len(self.prev) != len(self.next):
             raise ProtocolError("prev/next arrays out of step")
@@ -379,3 +399,14 @@ class IntLinkedList:
                 raise ProtocolError(
                     f"slot {slot} carries links but is not in the chain"
                 )
+        ghosts = seen.intersection(self._slab._free)
+        if ghosts:
+            raise ProtocolError(
+                f"slot(s) {sorted(ghosts)} are linked in this list but "
+                f"sit on the slab free pool (use after free)"
+            )
+        if self.size > self._slab.in_use:
+            raise ProtocolError(
+                f"list links {self.size} slots but the slab has only "
+                f"{self._slab.in_use} allocated"
+            )

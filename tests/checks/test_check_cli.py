@@ -56,8 +56,16 @@ class TestCheckCommand:
         for code in ("DET001", "DET002", "SIM001", "ERR001",
                      "ASSERT001", "FLT001", "SEED001", "API001",
                      "NOQA001", "FLOW001", "FLOW002", "FLOW003",
-                     "FLOW004"):
+                     "FLOW004", "KER001", "KER002", "KER003",
+                     "KER004"):
             assert code in out
+
+    def test_unknown_select_code_exits_two(self, capsys):
+        assert main(["check", str(SRC_REPRO),
+                     "--select", "KER999"]) == 2
+        err = capsys.readouterr().err
+        assert "KER999" in err
+        assert "--list-rules" in err
 
 
 class TestDeepPass:
@@ -143,3 +151,107 @@ class TestDeepPass:
         assert main(["check", str(pkg), "--deep",
                      "--baseline", str(tmp_path / "none.json"),
                      "--hash-schema", str(manifest)]) == 0
+
+
+class TestKernelPass:
+    def test_own_tree_is_kernel_clean(self, capsys):
+        assert main(["check", str(SRC_REPRO), "--kernel"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "kernel pass on" in out
+
+    def test_deep_and_kernel_combine(self, capsys):
+        assert main(["check", str(SRC_REPRO), "--deep", "--kernel"]) == 0
+        assert "deep+kernel pass on" in capsys.readouterr().out
+
+    def test_kernel_reports_typestate_findings(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "cache.py").write_text(
+            "class IntSlab:\n"
+            "    def alloc(self):\n"
+            "        return 1\n\n"
+            "    def free(self, slot):\n"
+            "        pass\n\n\n"
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self.slab = IntSlab()\n\n"
+            "    def drop(self):\n"
+            "        slot = self.slab.alloc()\n"
+            "        self.slab.free(slot)\n"
+            "        self.slab.free(slot)\n"
+        )
+        assert main(["check", str(pkg), "--kernel",
+                     "--baseline", str(tmp_path / "none.json")]) == 1
+        assert "KER001" in capsys.readouterr().out
+
+    def test_select_can_narrow_to_kernel_rule(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "scheme.py").write_text(
+            "import random\n\n\n"
+            "class BadScheme:\n"
+            "    supports_batch = True\n"
+        )
+        assert main(["check", str(pkg), "--kernel",
+                     "--select", "KER004",
+                     "--baseline", str(tmp_path / "none.json")]) == 1
+        out = capsys.readouterr().out
+        assert "KER004" in out
+        assert "DET001" not in out
+
+    def test_sarif_carries_code_flows(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "cache.py").write_text(
+            "class IntSlab:\n"
+            "    def alloc(self):\n"
+            "        return 1\n\n"
+            "    def free(self, slot):\n"
+            "        pass\n\n\n"
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self.slab = IntSlab()\n\n"
+            "    def drop(self):\n"
+            "        slot = self.slab.alloc()\n"
+            "        self.slab.free(slot)\n"
+            "        self.slab.free(slot)\n"
+        )
+        assert main(["check", str(pkg), "--kernel", "--format", "sarif",
+                     "--baseline", str(tmp_path / "none.json")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        results = [r for r in payload["runs"][0]["results"]
+                   if r["ruleId"] == "KER001"]
+        assert results
+        flow = results[0]["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert len(flow) >= 2
+
+    def test_update_baseline_merges_kernel_findings(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        # one deep (FLOW001) and one kernel (KER004) finding
+        (pkg / "sim.py").write_text(
+            "import random  # repro: noqa DET001 -- fixture\n\n"
+            "def run_simulation(trace):\n"
+            "    return random.random()\n"
+        )
+        (pkg / "scheme.py").write_text(
+            "class BadScheme:\n"
+            "    supports_batch = True\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        assert main(["check", str(pkg), "--deep", "--kernel",
+                     "--update-baseline", "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        entries = json.loads(baseline.read_text())["findings"].values()
+        assert any(e.startswith("FLOW001 ") for e in entries)
+        assert any(e.startswith("KER004 ") for e in entries)
+        # both passes are now quiet under the shared baseline
+        assert main(["check", str(pkg), "--deep", "--kernel",
+                     "--baseline", str(baseline)]) == 0
+        assert "2 baselined" in capsys.readouterr().out
+
