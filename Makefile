@@ -6,7 +6,7 @@
 PYTHON ?= python
 
 .PHONY: check check-shallow check-deep check-kernel lint test bench \
-	bench-batched baseline hash-schema
+	bench-batched mrc-approx baseline hash-schema
 
 check: lint check-shallow check-deep check-kernel
 
@@ -36,6 +36,15 @@ bench:
 bench-batched:
 	$(PYTHON) -m repro bench --threshold 0.30 --batch-size 1024 \
 		--baseline BENCH_core_ops.json --output bench_batched.json
+
+# The approximate-MRC validation ladder: the fast SHARDS/AET-vs-exact
+# accuracy suite (also run by CI's bench-smoke job), then the
+# REPRO_BIG_TESTS tentpole gate — 10^7 references, >= 20x over exact
+# Mattson at <= 1% MAE under a fixed memory budget (takes ~2 min).
+mrc-approx:
+	$(PYTHON) -m pytest -q tests/analysis/test_mrc_approx.py
+	REPRO_BIG_TESTS=1 $(PYTHON) -m pytest -q \
+		tests/analysis/test_mrc_approx.py -k tentpole_gate
 
 # Maintenance: regenerate the deep/kernel-pass artefacts after
 # reviewing that the new findings / schema drift are intentional. The

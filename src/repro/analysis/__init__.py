@@ -1,5 +1,14 @@
 """Locality-measure analysis (paper Section 2) and result rendering."""
 
+from repro.analysis.approx import (
+    APPROX_METHODS,
+    DEFAULT_SAMPLE_RATE,
+    SHARDS_MODULUS,
+    aet_mrc,
+    derive_sweep_results_approx,
+    shards_mrc,
+    spatial_hash,
+)
 from repro.analysis.locality import (
     ALL_MEASURES,
     LocalityAnalysis,
@@ -44,6 +53,13 @@ __all__ = [
     "mrc_for_trace",
     "stack_distances",
     "supports_scheme",
+    "APPROX_METHODS",
+    "DEFAULT_SAMPLE_RATE",
+    "SHARDS_MODULUS",
+    "aet_mrc",
+    "derive_sweep_results_approx",
+    "shards_mrc",
+    "spatial_hash",
     "MeasureReport",
     "OrderedListTracker",
     "PlacementStats",

@@ -1,0 +1,646 @@
+"""Approximate miss-ratio curves: SHARDS sampling and AET modelling.
+
+The exact Mattson profiler (:mod:`repro.analysis.mrc`) is O(M log N)
+and walks every reference in Python; this module trades a bounded,
+tunable error for orders of magnitude in time and memory, following the
+two scalable constructions catalogued in "A Survey of Miss-Ratio Curve
+Construction Techniques" (arXiv:1804.01972):
+
+- **SHARDS** (spatially hashed sampling, Waldspurger et al., FAST '15):
+  keep a reference iff ``hash(block) mod P < T``, a *spatial* filter —
+  every reference to a sampled block survives, so reuse structure is
+  preserved exactly on the sampled sub-stream. Stack distances of the
+  sub-stream (computed by the existing exact Fenwick kernel) scale by
+  ``1/R`` (``R = T/P``), and hit counts scale the same way, with the
+  SHARDS_adj correction ``E[N_s] - N_s`` folded into the smallest
+  bucket. :func:`shards_mrc` implements the fixed-rate variant and, via
+  ``s_max``, the fixed-size variant (a bounded tracked set whose rate
+  adapts downward by evicting the largest hash).
+- **AET** (average eviction time, Hu et al., ATC '16): model the cache
+  kinetically from the distribution of *reuse times* (references
+  between successive accesses to a block, sampled spatially). With
+  ``P(t)`` the fraction of references whose reuse time exceeds ``t``,
+  the eviction horizon of a cache of ``c`` blocks solves
+  ``integral_0^T P(t) dt = c`` and the miss ratio is ``P(T)``.
+  :func:`aet_mrc` keeps only the sampled reuse-time histogram — a few
+  scalars per *sampled* reference — so its footprint is independent of
+  capacity.
+
+Both emit the same :class:`~repro.analysis.mrc.MissRatioCurve` the
+exact profiler emits, and both consume either an in-memory
+:class:`~repro.workloads.base.Trace` or a chunk-wise
+:class:`~repro.workloads.io.StreamingTrace`, never materialising a
+streaming source. :func:`derive_sweep_results_approx` closes the loop:
+like :func:`repro.analysis.mrc.derive_sweep_results` it reconstructs
+sweep :class:`~repro.sim.results.RunResult` rows from one curve, but
+the rows are *estimates* — every one is stamped ``mrc_approx`` in
+``extras`` and the runner's cache-accept guard refuses to serve them
+in place of exact results.
+
+At ``rate=1.0`` the fixed-rate SHARDS curve degenerates to the exact
+Mattson curve bit for bit (every reference sampled, unit scaling, zero
+correction) — the property the hypothesis suite pins.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.mrc import (
+    COLD_DISTANCE,
+    MRC_SCHEMES,
+    MissRatioCurve,
+    _fill_collector,
+    stack_distances,
+    supports_scheme,
+)
+from repro.errors import ConfigurationError
+from repro.sim.costs import CostModel
+from repro.sim.engine import DEFAULT_WARMUP, result_from_metrics
+from repro.sim.results import RunResult
+from repro.util.fenwick import FenwickTree
+from repro.util.validation import check_fraction, check_positive
+from repro.workloads.base import Trace
+from repro.workloads.io import DEFAULT_CHUNK_REFS, StreamingTrace, iter_chunks
+
+#: Hash modulus ``P`` of the spatial filter (2^24, as in the SHARDS
+#: paper): thresholds are integers in ``[1, P]`` so sampling rates are
+#: representable down to ``6e-8``.
+SHARDS_MODULUS = 1 << 24
+
+#: Default spatial sampling rate — the paper's ``R = 0.01`` loses well
+#: under 1% absolute miss-ratio accuracy on every workload it studies.
+DEFAULT_SAMPLE_RATE = 0.01
+
+TraceSource = Union[Trace, StreamingTrace]
+
+_U64 = np.uint64
+
+
+def spatial_hash(blocks: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over block ids (vectorised, uint64).
+
+    A statistically strong mixer so that spatial sampling is unbiased
+    even for the structured (sequential, strided) block ids real traces
+    carry. Wrapping arithmetic is intentional.
+    """
+    z = np.asarray(blocks).astype(np.uint64)
+    z = z + _U64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> _U64(27))) * _U64(0x94D049BB133111EB)
+    return z ^ (z >> _U64(31))
+
+
+def _hash_mod(blocks: np.ndarray) -> np.ndarray:
+    """``hash(block) mod P`` (P is a power of two: one AND)."""
+    return spatial_hash(blocks) & _U64(SHARDS_MODULUS - 1)
+
+
+def _shards_threshold(rate: float) -> int:
+    """Integer threshold ``T`` realising sampling rate ``rate``."""
+    check_fraction("rate", rate)
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be > 0, got {rate!r}")
+    return max(1, int(round(rate * SHARDS_MODULUS)))
+
+
+def _approx_capacities(
+    capacities: Optional[Sequence[int]], est_unique: int
+) -> List[int]:
+    """Requested capacity points, or a geometric ladder up to the
+    estimated distinct-block count (an approximate curve over millions
+    of capacities point by point would defeat the point)."""
+    if capacities is not None:
+        return [int(check_positive("capacity", int(c))) for c in capacities]
+    points: List[int] = []
+    size = 1
+    top = max(1, est_unique)
+    while size < top:
+        points.append(size)
+        size *= 2
+    points.append(top)
+    return points
+
+
+def _zero_curve(
+    points: Sequence[int], references: int, warmup_count: int, unique: int
+) -> MissRatioCurve:
+    return MissRatioCurve(
+        capacities=tuple(int(c) for c in points),
+        hit_rates=tuple(0.0 for _ in points),
+        references=references,
+        warmup_references=warmup_count,
+        num_unique_blocks=unique,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SHARDS — fixed rate
+# ---------------------------------------------------------------------------
+
+
+def shards_mrc(
+    source: TraceSource,
+    capacities: Optional[Sequence[int]] = None,
+    rate: float = DEFAULT_SAMPLE_RATE,
+    warmup_fraction: float = DEFAULT_WARMUP,
+    s_max: Optional[int] = None,
+    chunk_size: int = DEFAULT_CHUNK_REFS,
+) -> MissRatioCurve:
+    """Approximate LRU miss-ratio curve via SHARDS spatial sampling.
+
+    Fixed-rate by default: every reference whose block hashes under the
+    threshold survives, the sampled sub-stream goes through the exact
+    Fenwick stack-distance kernel, and distances/counts scale by
+    ``1/rate`` with the SHARDS_adj end correction. With ``s_max`` set,
+    runs the fixed-size variant instead (see :func:`_shards_fixed_size`):
+    ``rate`` then caps the *initial* rate and the tracked set never
+    exceeds ``s_max`` blocks.
+
+    ``source`` may be an in-memory trace or a streaming one; only the
+    sampled references are ever accumulated (expected ``rate *
+    len(source)`` of them).
+    """
+    check_fraction("warmup_fraction", warmup_fraction)
+    if s_max is not None:
+        curve, _ = _shards_fixed_size(
+            source, capacities, rate, warmup_fraction, int(s_max), chunk_size
+        )
+        return curve
+    threshold = _shards_threshold(rate)
+    effective = threshold / SHARDS_MODULUS
+    total = len(source)
+    warmup_count = int(total * warmup_fraction)
+    references = total - warmup_count
+
+    sampled_blocks: List[np.ndarray] = []
+    sampled_pos: List[np.ndarray] = []
+    for chunk in iter_chunks(source, chunk_size):
+        keep = _hash_mod(chunk.blocks) < threshold
+        if keep.any():
+            picked = np.flatnonzero(keep)
+            sampled_blocks.append(
+                np.asarray(chunk.blocks, dtype=np.int64)[picked]
+            )
+            sampled_pos.append(chunk.offset + picked)
+
+    if not sampled_blocks:
+        points = _approx_capacities(capacities, 0)
+        return _zero_curve(points, references, warmup_count, 0)
+
+    blocks = np.concatenate(sampled_blocks)
+    positions = np.concatenate(sampled_pos)
+    profile = stack_distances(blocks)
+    distances = profile.distances
+    finite = distances != COLD_DISTANCE
+    measured = positions >= warmup_count
+
+    # Scale sampled distances back to full-stream units. At rate 1.0
+    # this is the identity (so the curve equals the exact one exactly).
+    est_dist = np.rint(
+        distances[finite & measured] / effective
+    ).astype(np.int64)
+    est_dist.sort()
+    sampled_measured = int(np.count_nonzero(measured))
+    # SHARDS_adj: the sampled measured count should be references *
+    # rate in expectation; the shortfall (or excess) is credited to the
+    # smallest-distance bucket, i.e. to the hit count at every capacity.
+    correction = references * effective - sampled_measured
+
+    est_unique = int(round(profile.num_unique / effective))
+    points = _approx_capacities(capacities, est_unique)
+    rates: List[float] = []
+    for capacity in points:
+        sampled_hits = int(np.searchsorted(est_dist, capacity, side="right"))
+        est_hits = (sampled_hits + correction) / effective
+        est_hits = min(max(est_hits, 0.0), float(references))
+        rates.append(est_hits / references if references else 0.0)
+    return MissRatioCurve(
+        capacities=tuple(points),
+        hit_rates=tuple(rates),
+        references=references,
+        warmup_references=warmup_count,
+        num_unique_blocks=est_unique,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SHARDS — fixed size (S_max, adaptive rate)
+# ---------------------------------------------------------------------------
+
+
+def _shards_fixed_size(
+    source: TraceSource,
+    capacities: Optional[Sequence[int]],
+    initial_rate: float,
+    warmup_fraction: float,
+    s_max: int,
+    chunk_size: int,
+) -> Tuple[MissRatioCurve, int]:
+    """Fixed-size SHARDS: at most ``s_max`` tracked blocks, ever.
+
+    The threshold starts at ``initial_rate`` and *adapts*: whenever a
+    new block would grow the tracked set past ``s_max``, the tracked
+    block with the largest hash is evicted and the threshold drops to
+    that hash — every future reference hashing at or above it is
+    rejected, so the tracked set is exactly the ``s_max`` smallest
+    hashes seen. Each sampled reference is weighted ``1/R_i`` by the
+    rate in force when it was processed; the dR correction generalises
+    to ``references - sum(weights)`` in estimated-reference units.
+
+    Returns ``(curve, max_tracked)`` — the high-water mark of the
+    tracked set, which the memory-budget tests assert never exceeds
+    ``s_max``.
+    """
+    check_positive("s_max", s_max)
+    threshold = _shards_threshold(initial_rate)
+    modulus = SHARDS_MODULUS
+    total = len(source)
+    warmup_count = int(total * warmup_fraction)
+    references = total - warmup_count
+
+    tree = FenwickTree(1024)
+    last_slot: Dict[int, int] = {}
+    # Max-heap on hash over tracked blocks (negated hashes); entries go
+    # stale when their block is evicted and re-admitted — stale entries
+    # are skipped at pop time via the slot table.
+    heap: List[Tuple[int, int]] = []
+    next_slot = 0
+    max_tracked = 0
+    est_dists: List[float] = []
+    weights: List[float] = []
+    weight_measured = 0.0
+    samples_measured = 0
+    unique_weight = 0.0
+
+    for chunk in iter_chunks(source, chunk_size):
+        mods = _hash_mod(chunk.blocks)
+        candidates = np.flatnonzero(mods < threshold)
+        if len(candidates) == 0:
+            continue
+        hash_list = mods[candidates].tolist()
+        block_list = (
+            np.asarray(chunk.blocks, dtype=np.int64)[candidates].tolist()
+        )
+        base = chunk.offset
+        index_list = candidates.tolist()
+        for local, hashed, block in zip(index_list, hash_list, block_list):
+            if hashed >= threshold:
+                # The threshold adapted downward mid-chunk.
+                continue
+            position = base + local
+            weight = modulus / threshold
+            measured = position >= warmup_count
+            if measured:
+                weight_measured += weight
+                samples_measured += 1
+            slot = next_slot
+            next_slot += 1
+            if slot >= len(tree):
+                tree.grow(max(slot + 1, 2 * len(tree)))
+            prev = last_slot.get(block)
+            if prev is not None:
+                distance = tree.range_sum(prev + 1, slot - 1) + 1
+                tree.add(prev, -1)
+                tree.add(slot, 1)
+                last_slot[block] = slot
+                if measured:
+                    est_dists.append(distance * weight)
+                    weights.append(weight)
+                continue
+            # Cold reference: admit, then shrink back under s_max by
+            # evicting the largest tracked hash and adopting it as the
+            # new (lower) threshold.
+            unique_weight += weight
+            tree.add(slot, 1)
+            last_slot[block] = slot
+            heapq.heappush(heap, (-hashed, block))
+            if len(last_slot) <= s_max:
+                if len(last_slot) > max_tracked:
+                    max_tracked = len(last_slot)
+                continue
+            while heap:
+                negated, victim = heapq.heappop(heap)
+                victim_slot = last_slot.get(victim)
+                if victim_slot is None:
+                    continue  # stale entry for an evicted block
+                threshold = -negated
+                tree.add(victim_slot, -1)
+                del last_slot[victim]
+                break
+            # Hash ties: every tracked block at the new threshold is
+            # out of the sample too.
+            while heap and -heap[0][0] >= threshold:
+                negated, victim = heapq.heappop(heap)
+                victim_slot = last_slot.get(victim)
+                if victim_slot is not None:
+                    tree.add(victim_slot, -1)
+                    del last_slot[victim]
+        if max_tracked < len(last_slot):
+            max_tracked = len(last_slot)
+
+    est_unique = int(round(unique_weight))
+    points = _approx_capacities(capacities, est_unique)
+    if not est_dists and samples_measured == 0:
+        return (
+            _zero_curve(points, references, warmup_count, est_unique),
+            max_tracked,
+        )
+    order = np.argsort(np.asarray(est_dists, dtype=np.float64))
+    sorted_dists = np.asarray(est_dists, dtype=np.float64)[order]
+    cumulative = np.cumsum(np.asarray(weights, dtype=np.float64)[order])
+    correction = references - weight_measured
+    rates: List[float] = []
+    for capacity in points:
+        within = int(np.searchsorted(sorted_dists, capacity, side="right"))
+        est_hits = float(cumulative[within - 1] if within else 0.0) \
+            + correction
+        est_hits = min(max(est_hits, 0.0), float(references))
+        rates.append(est_hits / references if references else 0.0)
+    curve = MissRatioCurve(
+        capacities=tuple(points),
+        hit_rates=tuple(rates),
+        references=references,
+        warmup_references=warmup_count,
+        num_unique_blocks=est_unique,
+    )
+    return curve, max_tracked
+
+
+# ---------------------------------------------------------------------------
+# AET — kinetic model over sampled reuse times
+# ---------------------------------------------------------------------------
+
+
+def aet_mrc(
+    source: TraceSource,
+    capacities: Optional[Sequence[int]] = None,
+    rate: float = DEFAULT_SAMPLE_RATE,
+    warmup_fraction: float = DEFAULT_WARMUP,
+    chunk_size: int = DEFAULT_CHUNK_REFS,
+) -> MissRatioCurve:
+    """Approximate LRU miss-ratio curve via the AET kinetic model.
+
+    One streaming pass collects the *forward* reuse time of a
+    ``rate``-fraction of references — **temporal** sampling, the AET
+    paper's own monitoring scheme, in contrast to SHARDS' spatial
+    filter. Each reference is an equally-weighted draw from the
+    reuse-time distribution, so the estimate is immune to the hot-block
+    mass skew that dominates spatial-sampling variance on zipf-like
+    workloads (one 8%-mass block sampled or not swings a spatial sample
+    by orders of magnitude; it swings a temporal sample not at all).
+
+    Mechanically, every ``round(1/rate)``-th post-warm-up reference
+    opens a monitor on its block; the block's next access anywhere in
+    the stream closes it and contributes the elapsed reference count,
+    while monitors never closed contribute a cold (infinite) sample.
+    Chunks are processed with vectorised first/next-occurrence
+    extraction (``np.unique`` + a stable lexsort), so only cross-chunk
+    monitor state — a dict bounded by the number of in-flight samples —
+    lives between chunks.
+
+    ``P(t)``, the fraction of sampled references with reuse time
+    greater than ``t`` (cold = infinite), is then a step function; the
+    average eviction time of a cache of ``c`` blocks solves
+    ``integral_0^T P(t) dt = c`` and the miss ratio at ``c`` is
+    ``P(T)`` — evaluated segment-wise below, no dense histogram array.
+    """
+    check_fraction("warmup_fraction", warmup_fraction)
+    check_fraction("rate", rate)
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be > 0, got {rate!r}")
+    stride = max(1, int(round(1.0 / rate)))
+    total = len(source)
+    warmup_count = int(total * warmup_fraction)
+    references = total - warmup_count
+
+    watch: Dict[int, int] = {}  # block -> global position of open monitor
+    closed: List[np.ndarray] = []  # within-chunk reuse-time batches
+    cross: List[int] = []  # cross-chunk reuse times
+    sampled = 0
+    for chunk in iter_chunks(source, chunk_size):
+        blocks = np.asarray(chunk.blocks, dtype=np.int64)
+        n = len(blocks)
+        if n == 0:
+            continue
+        offset = chunk.offset
+        unique, first, inverse = np.unique(
+            blocks, return_index=True, return_inverse=True
+        )
+        if watch:
+            # Close monitors from earlier chunks at each watched
+            # block's first occurrence here. The watch set (in-flight
+            # samples) is far smaller than the chunk's distinct-block
+            # set, so membership is probed from the watch side.
+            watched = np.fromiter(
+                watch.keys(), dtype=np.int64, count=len(watch)
+            )
+            slot = np.searchsorted(unique, watched)
+            slot[slot >= len(unique)] = 0
+            present = unique[slot] == watched
+            for block, position in zip(
+                watched[present].tolist(), first[slot[present]].tolist()
+            ):
+                cross.append(offset + position - watch.pop(block))
+        start = warmup_count - offset
+        if start < 0:
+            start = 0
+        if start >= n:
+            continue
+        first_local = start + (-(offset + start - warmup_count)) % stride
+        picks = np.arange(first_local, n, stride, dtype=np.int64)
+        if len(picks) == 0:
+            continue
+        sampled += len(picks)
+        # next occurrence of the same block within the chunk
+        order = np.lexsort((np.arange(n, dtype=np.int64), inverse))
+        next_occ = np.full(n, -1, dtype=np.int64)
+        same = inverse[order[:-1]] == inverse[order[1:]]
+        next_occ[order[:-1][same]] = order[1:][same]
+        nxt = next_occ[picks]
+        in_chunk = nxt >= 0
+        if in_chunk.any():
+            closed.append(nxt[in_chunk] - picks[in_chunk])
+        # A block's last occurrence in the chunk is the only one that
+        # can carry an open monitor forward, so entries never collide.
+        for local in picks[~in_chunk].tolist():
+            watch[int(blocks[local])] = offset + local
+
+    cold = len(watch)
+    # Each block's final access is its one infinite-reuse reference, so
+    # the sampled cold fraction scaled to the stream estimates the
+    # distinct-block count.
+    est_unique = (
+        int(round(cold / sampled * references)) if sampled else 0
+    )
+    points = _approx_capacities(capacities, est_unique)
+    samples = sampled
+    if samples == 0 or references == 0:
+        return _zero_curve(points, references, warmup_count, est_unique)
+
+    finite = (
+        np.concatenate(closed + [np.asarray(cross, dtype=np.int64)])
+        if closed or cross
+        else np.zeros(0, dtype=np.int64)
+    )
+    if len(finite) == 0:
+        # Every sample was cold: the model predicts a 100% miss ratio
+        # at every finite capacity.
+        return _zero_curve(points, references, warmup_count, est_unique)
+    boundaries, counts = np.unique(finite, return_counts=True)
+    below = np.cumsum(counts)  # finite reuse times <= boundaries[k]
+    num_finite = len(finite)
+    # P on the open segment [boundaries[k-1], boundaries[k]): all finite
+    # reuse times strictly above the previous boundary survive, plus
+    # every cold (infinite) sample. P on the first segment is 1.
+    survivors = (
+        num_finite - np.concatenate((np.zeros(1, dtype=np.int64), below[:-1]))
+        + cold
+    )
+    seg_p = survivors / samples
+    previous = np.concatenate((np.zeros(1, dtype=np.int64), boundaries[:-1]))
+    area = np.cumsum(seg_p * (boundaries - previous))
+    tail_p = cold / samples
+
+    rates: List[float] = []
+    for capacity in points:
+        segment = int(np.searchsorted(area, capacity, side="left"))
+        if segment >= len(area):
+            miss = tail_p
+        elif area[segment] == capacity:
+            # The eviction horizon lands exactly on a boundary: P is
+            # right-continuous there (reuse == T still hits).
+            miss = seg_p[segment + 1] if segment + 1 < len(seg_p) else tail_p
+        else:
+            miss = seg_p[segment]
+        rates.append(min(max(1.0 - float(miss), 0.0), 1.0))
+    return MissRatioCurve(
+        capacities=tuple(points),
+        hit_rates=tuple(rates),
+        references=references,
+        warmup_references=warmup_count,
+        num_unique_blocks=est_unique,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Approximate sweep derivation
+# ---------------------------------------------------------------------------
+
+#: Profilers :func:`derive_sweep_results_approx` can drive.
+APPROX_METHODS = ("shards", "aet")
+
+
+def derive_sweep_results_approx(
+    scheme: str,
+    source: TraceSource,
+    client_capacity: int,
+    server_sizes: Sequence[int],
+    costs: CostModel,
+    warmup_fraction: float = DEFAULT_WARMUP,
+    method: str = "shards",
+    rate: float = DEFAULT_SAMPLE_RATE,
+    s_max: Optional[int] = None,
+    scheme_kwargs: Optional[Dict[str, object]] = None,
+    chunk_size: int = DEFAULT_CHUNK_REFS,
+) -> List[RunResult]:
+    """Sweep :class:`RunResult` rows estimated from one approximate curve.
+
+    The approximate analogue of
+    :func:`repro.analysis.mrc.derive_sweep_results`: one SHARDS or AET
+    pass over ``source`` (which may be streaming) evaluated at
+    ``client_capacity`` and every aggregate ``client_capacity + size``
+    point, reconstructed into per-size results through the shared
+    packaging arithmetic. Counters are *estimates*: level hits come from
+    the estimated hit rates, demotions/evictions from the estimated
+    miss counts gated on the estimated distinct-block count. Every row
+    is stamped ``extras["mrc_approx"] = 1.0`` (plus the sampling rate)
+    so the result cache never serves it in place of an exact result.
+
+    Raises:
+        ConfigurationError: for schemes
+            :func:`~repro.analysis.mrc.supports_scheme` rejects, or an
+            unknown ``method``.
+    """
+    from dataclasses import replace
+
+    from repro.hierarchy.registry import make_scheme
+
+    if method not in APPROX_METHODS:
+        raise ConfigurationError(
+            f"unknown approximate-MRC method {method!r}; "
+            f"available: {APPROX_METHODS}"
+        )
+    if not supports_scheme(scheme, scheme_kwargs, num_clients=1):
+        raise ConfigurationError(
+            f"scheme {scheme!r} (kwargs {scheme_kwargs or {}}) is not "
+            f"MRC-derivable; supported: {MRC_SCHEMES} single-client "
+            "with LRU levels"
+        )
+    check_positive("client_capacity", client_capacity)
+    sizes = [int(check_positive("server_size", int(s))) for s in server_sizes]
+    needed = sorted({client_capacity} | {client_capacity + s for s in sizes})
+
+    if method == "aet":
+        curve = aet_mrc(
+            source, needed, rate=rate, warmup_fraction=warmup_fraction,
+            chunk_size=chunk_size,
+        )
+    else:
+        curve = shards_mrc(
+            source, needed, rate=rate, warmup_fraction=warmup_fraction,
+            s_max=s_max, chunk_size=chunk_size,
+        )
+    references = curve.references
+    warmup_count = curve.warmup_references
+    est_unique = curve.num_unique_blocks
+    l1_hits = min(
+        int(round(curve.hit_rate(client_capacity) * references)), references
+    )
+
+    scheme_name = make_scheme(
+        scheme, [client_capacity, sizes[0]], 1, **dict(scheme_kwargs or {})
+    ).name if sizes else scheme
+    is_indlru = scheme.lower() == "indlru"
+    results: List[RunResult] = []
+    for size in sizes:
+        aggregate = min(
+            int(round(curve.hit_rate(client_capacity + size) * references)),
+            references,
+        )
+        aggregate = max(aggregate, l1_hits)
+        if is_indlru:
+            demotions, evictions = 0, 0
+        else:
+            demotions = (
+                references - l1_hits if est_unique > client_capacity else 0
+            )
+            evictions = (
+                references - aggregate
+                if est_unique > client_capacity + size else 0
+            )
+        metrics = _fill_collector(
+            2, references, [l1_hits, aggregate - l1_hits], [demotions],
+            evictions,
+        )
+        result = result_from_metrics(
+            scheme_name,
+            curve_workload_name(source),
+            [client_capacity, size],
+            metrics,
+            costs,
+            warmup_count,
+        )
+        extras = dict(result.extras)
+        extras["mrc_approx"] = 1.0
+        extras["mrc_sample_rate"] = float(rate)
+        results.append(replace(result, extras=extras))
+    return results
+
+
+def curve_workload_name(source: TraceSource) -> str:
+    """Workload display name of an in-memory or streaming source."""
+    return source.info.name

@@ -147,6 +147,50 @@ def _drive_profile(trace) -> None:
     stack_distances(trace.blocks)
 
 
+#: References of the approximate-MRC and streaming scenarios. Fixed —
+#: not scaled by ``--smoke`` — because their point is the *ratio*
+#: against exact Mattson (the ``mrc_shards`` >= 20x gate): at smoke
+#: reference counts the sampled passes are all fixed overhead and the
+#: ratio is meaningless.
+MRC_REFS = 200_000
+#: Universe and skew of the approximate-MRC scenarios' zipf trace.
+#: Deliberately well-conditioned for spatial sampling: SHARDS' work (and
+#: error) is bounded by the reference mass of the sampled *blocks*, so a
+#: trace whose hottest block carries percent-level mass would make the
+#: sampled substream several times larger than the nominal rate whenever
+#: that block hashes into the sample (see docs/performance.md,
+#: "Approximate miss-ratio curves"). alpha=0.8 over 2^20 blocks keeps
+#: every block's mass ~1e-4.
+MRC_UNIVERSE = 1 << 20
+MRC_ALPHA = 0.8
+MRC_SEED = 42
+#: Sampling rate of the approximate-MRC scenarios.
+MRC_RATE = 0.01
+
+
+def _drive_shards(trace) -> None:
+    from repro.analysis.approx import shards_mrc
+
+    shards_mrc(trace, rate=MRC_RATE)
+
+
+def _drive_aet(trace) -> None:
+    from repro.analysis.approx import aet_mrc
+
+    aet_mrc(trace, rate=MRC_RATE)
+
+
+def _drive_stream_scan(path: str) -> None:
+    """Full chunk-wise scan of an on-disk columnar trace: mmap page-in
+    plus one vector reduction per chunk — the floor any streaming
+    consumer (profiler or engine) pays per reference."""
+    from repro.workloads.io import ColumnarTrace
+
+    total = 0
+    for chunk in ColumnarTrace(path).chunks():
+        total += int(chunk.blocks.sum())
+
+
 def _drive_kernel_check() -> None:
     """One kernel (slot-typestate) pass over the installed package, so
     the smoke gate also guards the static-analysis latency developers
@@ -161,58 +205,99 @@ def _drive_kernel_check() -> None:
 
 def _scenarios(
     num_refs: int, batch_size: int = BATCH_SIZE
-) -> List[Tuple[str, Callable[[], None]]]:
-    """Build the benchmark scenarios with their traces pre-materialised."""
-    scenarios: List[Tuple[str, Callable[[], None]]] = []
+) -> List[Tuple[str, Callable[[], None], int]]:
+    """Build the benchmark scenarios with their traces pre-materialised.
+
+    Each entry is ``(name, drive, refs)`` — ``refs`` is the reference
+    count the scenario actually processes per round (most scale with
+    ``num_refs``; the approximate-MRC/streaming scenarios are pinned at
+    :data:`MRC_REFS`), and is what ``refs_per_s`` is derived from.
+    """
+    scenarios: List[Tuple[str, Callable[[], None], int]] = []
     for capacity in (256, 1024, 4096):
         refs = memoryview(zipf_trace(capacity * 8, num_refs, seed=1).blocks)
         scenarios.append((
             f"ulc_access_throughput[{capacity}]",
             lambda c=capacity, r=refs: _drive_ulc(c, r),
+            num_refs,
         ))
     lru_refs = memoryview(zipf_trace(8192, num_refs, seed=1).blocks)
     scenarios.append(
-        ("lru_access_throughput", lambda: _drive_lru(lru_refs))
+        ("lru_access_throughput", lambda: _drive_lru(lru_refs), num_refs)
     )
     # Batched twins of the single-step engines above, measuring the
     # steady-state all-hit fast path (see LRU_BATCHED_UNIVERSE): the
     # engine is warmed outside the timed region, and every timed round
     # replays the same all-resident trace through the batch tier. The
     # ratio gate in :func:`run_bench` holds lru_access_throughput_batched
-    # to >= 5x the committed single-step lru_access_throughput.
+    # to >= 5x the committed single-step lru_access_throughput. Trace
+    # length is pinned at FULL_REFS rather than smoke-scaled: at a few
+    # batches per round the per-call overhead dominates and the smoke
+    # numbers would undershoot a full-length committed baseline.
     lru_arr = np.asarray(
-        memoryview(zipf_trace(LRU_BATCHED_UNIVERSE, num_refs, seed=1).blocks)
+        memoryview(zipf_trace(LRU_BATCHED_UNIVERSE, FULL_REFS, seed=1).blocks)
     )
     warm_lru = LRUPolicy(3072)
     _drive_lru_batched(warm_lru, lru_arr, batch_size)
     scenarios.append((
         "lru_access_throughput_batched",
         lambda: _drive_lru_batched(warm_lru, lru_arr, batch_size),
+        FULL_REFS,
     ))
     ulc_arr = np.asarray(
-        memoryview(zipf_trace(ULC_BATCHED_UNIVERSE, num_refs, seed=1).blocks)
+        memoryview(zipf_trace(ULC_BATCHED_UNIVERSE, FULL_REFS, seed=1).blocks)
     )
     warm_ulc = ULCClient([1024] * 3)
     _drive_ulc_batched(warm_ulc, ulc_arr, batch_size)
     scenarios.append((
         "ulc_access_throughput_batched[1024]",
         lambda: _drive_ulc_batched(warm_ulc, ulc_arr, batch_size),
+        FULL_REFS,
     ))
     multi_refs = memoryview(zipf_trace(8192, num_refs, seed=2).blocks)
     scenarios.append(
-        ("multi_client_throughput", lambda: _drive_multi(multi_refs))
+        ("multi_client_throughput", lambda: _drive_multi(multi_refs), num_refs)
     )
     sweep_trace = zipf_trace(8192, num_refs, seed=3)
+    scenarios.append((
+        "sweep16_point[unilru]",
+        lambda: _drive_sweep(sweep_trace, False),
+        num_refs,
+    ))
     scenarios.append(
-        ("sweep16_point[unilru]", lambda: _drive_sweep(sweep_trace, False))
+        ("sweep16_mrc[unilru]", lambda: _drive_sweep(sweep_trace, None), num_refs)
     )
     scenarios.append(
-        ("sweep16_mrc[unilru]", lambda: _drive_sweep(sweep_trace, None))
+        ("mrc_stack_distances", lambda: _drive_profile(sweep_trace), num_refs)
     )
+    # Approximate-MRC and streaming scenarios share one MRC_REFS-reference
+    # trace (fixed size, see MRC_REFS above). mrc_shards is held to >= 20x
+    # the committed mrc_stack_distances refs/s by the SPEEDUP_GATES ratio
+    # check — the tentpole speedup claim, continuously measured.
+    mrc_trace = zipf_trace(MRC_UNIVERSE, MRC_REFS, alpha=MRC_ALPHA, seed=MRC_SEED)
     scenarios.append(
-        ("mrc_stack_distances", lambda: _drive_profile(sweep_trace))
+        ("mrc_shards", lambda: _drive_shards(mrc_trace), MRC_REFS)
     )
-    scenarios.append(("check_kernel_pass", _drive_kernel_check))
+    scenarios.append(("mrc_aet", lambda: _drive_aet(mrc_trace), MRC_REFS))
+    from tempfile import TemporaryDirectory
+
+    from repro.workloads.io import save_columnar
+
+    scratch = TemporaryDirectory(prefix="repro-bench-")
+    columnar_path = str(Path(scratch.name) / "mrc_trace.ctr")
+    save_columnar(mrc_trace, columnar_path)
+    scenarios.append((
+        "trace_stream_scan",
+        # The default-arg reference keeps the TemporaryDirectory alive
+        # (and the .ctr on disk) for the lifetime of the scenario list.
+        lambda _scratch=scratch: _drive_stream_scan(columnar_path),
+        MRC_REFS,
+    ))
+    # The checker pass does fixed work (one walk of the installed
+    # package) regardless of suite scale; a nominal fixed refs count
+    # keeps its refs/s comparable between --smoke runs and the
+    # full-length committed baseline.
+    scenarios.append(("check_kernel_pass", _drive_kernel_check, FULL_REFS))
     return scenarios
 
 
@@ -221,9 +306,16 @@ def run_suite(
     rounds: int = FULL_ROUNDS,
     batch_size: int = BATCH_SIZE,
 ) -> Dict[str, BenchResult]:
-    """Time every scenario; best-of-``rounds`` wall time per scenario."""
+    """Time every scenario; best-of-``rounds`` wall time per scenario.
+
+    Each scenario gets one untimed warm-up invocation first: early in a
+    short (``--smoke``) process the CPU clock and caches are still
+    ramping, and without the warm-up the first scenarios reproducibly
+    undershoot a baseline recorded by a long full-length run.
+    """
     results: Dict[str, BenchResult] = {}
-    for name, drive in _scenarios(num_refs, batch_size):
+    for name, drive, scenario_refs in _scenarios(num_refs, batch_size):
+        drive()
         best = float("inf")
         for _ in range(max(1, rounds)):
             started = time.perf_counter()
@@ -232,27 +324,52 @@ def run_suite(
             if elapsed < best:
                 best = elapsed
         results[name] = {
-            "refs": num_refs,
+            "refs": scenario_refs,
             "wall_time_s": round(best, 6),
-            "refs_per_s": round(num_refs / best, 1),
+            "refs_per_s": round(scenario_refs / best, 1),
         }
     return results
 
 
-def git_rev() -> str:
-    """Short git revision of the working tree, or ``"unknown"``."""
+def _git(*args: str) -> Optional[str]:
+    """Run one git query in the package directory; ``None`` on failure."""
     try:
         proc = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
+            ["git", *args],
             capture_output=True,
             text=True,
             timeout=10,
             cwd=Path(__file__).resolve().parent,
         )
     except (OSError, subprocess.SubprocessError):
-        return "unknown"
-    rev = proc.stdout.strip()
-    return rev if proc.returncode == 0 and rev else "unknown"
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip()
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    rev = _git("rev-parse", "--short", "HEAD")
+    return rev if rev else "unknown"
+
+
+def git_state() -> Dict[str, object]:
+    """Provenance of the measured tree: revision, dirty flag, parent.
+
+    ``git_dirty`` records whether tracked files had uncommitted changes
+    when the numbers were taken (a dirty tree means the committed
+    ``git_rev`` does not fully identify the measured code), and
+    ``git_parent_rev`` pins where the measured commit sits in history
+    even after a rebase rewrites it.
+    """
+    status = _git("status", "--porcelain", "--untracked-files=no")
+    parent = _git("rev-parse", "--short", "HEAD^")
+    return {
+        "git_rev": git_rev(),
+        "git_dirty": bool(status) if status is not None else False,
+        "git_parent_rev": parent if parent else "unknown",
+    }
 
 
 def find_regressions(
@@ -283,14 +400,16 @@ def find_regressions(
     return messages
 
 
-#: Batched scenarios gated against their committed single-step twin:
-#: ``(batched name, single-step name, minimum refs/s ratio)``. The
-#: single-step rate comes from the *baseline* document (the committed
-#: numbers) so a uniformly slow machine still measures the speedup the
-#: batch tier claims; without a baseline the current run's own
-#: single-step rate stands in.
+#: Fast scenarios gated against their committed slow twin:
+#: ``(fast name, slow name, minimum refs/s ratio)``. The slow rate
+#: comes from the *baseline* document (the committed numbers) so a
+#: uniformly slow machine still measures the speedup the fast path
+#: claims; without a baseline the current run's own slow rate stands
+#: in. The mrc_shards gate is the tentpole's >= 20x-over-exact-Mattson
+#: claim (docs/performance.md, "Approximate miss-ratio curves").
 SPEEDUP_GATES: Tuple[Tuple[str, str, float], ...] = (
     ("lru_access_throughput_batched", "lru_access_throughput", 5.0),
+    ("mrc_shards", "mrc_stack_distances", 20.0),
 )
 
 
@@ -298,7 +417,7 @@ def find_speedup_failures(
     current: Dict[str, BenchResult],
     previous: Optional[Dict[str, BenchResult]],
 ) -> List[str]:
-    """Batched scenarios running below their required speedup ratio."""
+    """Gated scenarios running below their required speedup ratio."""
     messages: List[str] = []
     for batched_name, single_name, min_ratio in SPEEDUP_GATES:
         batched = current.get(batched_name, {}).get("refs_per_s")
@@ -313,7 +432,7 @@ def find_speedup_failures(
         if ratio < min_ratio:
             messages.append(
                 f"{batched_name}: {batched:,.0f} refs/s is {ratio:.1f}x "
-                f"{single_name} ({single:,.0f}); the batch API promises "
+                f"{single_name} ({single:,.0f}); the fast path promises "
                 f">= {min_ratio:.0f}x"
             )
     return messages
@@ -396,7 +515,7 @@ def run_bench(
 
     payload: Dict[str, object] = {
         "suite": SUITE,
-        "git_rev": git_rev(),
+        **git_state(),
         "smoke": smoke,
         "rounds": num_rounds,
         "benchmarks": results,

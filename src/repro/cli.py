@@ -28,9 +28,16 @@ Usage::
         [--output BENCH_core_ops.json] [--baseline previous.json]
 
     # exact single-pass LRU miss-ratio curve of a trace (optionally with
-    # the Che/Fagin closed-form estimate alongside)
+    # the Che/Fagin closed-form estimate and/or sampled approximations)
     python -m repro mrc --workload zipf --refs 200000 --che
     python -m repro mrc --trace my_trace.txt --capacities 64 256 1024
+    python -m repro mrc --trace big.ctr --shards 0.01 --aet --approx-only \\
+        --capacities 1024 4096 16384
+
+    # convert/inspect on-disk traces (columnar .ctr, CSV, binary, text)
+    python -m repro trace convert --trace accesses.csv --out big.ctr \\
+        --block-column 1 --client-column 0 --intern
+    python -m repro trace info --trace big.ctr
 
     # simulator-aware static analysis (lint) over the source tree
     python -m repro check [PATH ...defaults to the installed package]
@@ -67,7 +74,7 @@ from repro.experiments import (
 
 EXPERIMENTS = ("figure2", "figure3", "table1", "figure6", "figure7",
                "ablations", "all", "workloads", "simulate", "classify",
-               "experiment", "check", "bench", "mrc")
+               "experiment", "check", "bench", "mrc", "trace")
 
 #: Experiments the generic ``experiment`` command can target.
 EXPERIMENT_TARGETS = ("figure2", "figure3", "table1", "figure6", "figure7",
@@ -177,6 +184,126 @@ def _run_bench(args: argparse.Namespace) -> int:
     )
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` command: convert/inspect on-disk traces.
+
+    ``trace convert`` streams any supported input (CSV, flat binary,
+    text, ``.npz``) into the columnar ``.ctr`` directory format without
+    ever materialising the whole reference array; ``trace info`` prints
+    a ``.ctr`` manifest (or any readable trace's headline stats).
+    """
+    from repro.errors import ConfigurationError
+    from repro.util.tables import format_table
+    from repro.workloads.io import (
+        COLUMNAR_SUFFIX,
+        DEFAULT_CHUNK_REFS,
+        ColumnarTrace,
+        DenseInterner,
+        convert_to_columnar,
+        open_trace_chunks,
+    )
+
+    chunk_size = (
+        args.chunk_size if args.chunk_size is not None else DEFAULT_CHUNK_REFS
+    )
+    verb = args.target or "info"
+    if verb not in ("convert", "info"):
+        raise ConfigurationError(
+            f"unknown trace verb {verb!r}; available: convert, info"
+        )
+    if args.trace is None:
+        raise ConfigurationError(
+            "the trace command needs an input: --trace PATH"
+        )
+    if verb == "convert":
+        if args.out is None:
+            raise ConfigurationError(
+                f"trace convert needs --out DIR (a {COLUMNAR_SUFFIX} "
+                "directory to write)"
+            )
+        chunks, info = open_trace_chunks(
+            args.trace,
+            fmt=args.trace_format,
+            block_column=args.block_column,
+            client_column=args.client_column,
+            delimiter=args.delimiter,
+            skip_header=args.skip_header,
+            dtype=args.binary_dtype,
+            chunk_size=chunk_size,
+        )
+        interner = DenseInterner() if args.intern else None
+        written = convert_to_columnar(
+            chunks, args.out, info=info, interner=interner
+        )
+        detail = f", {len(interner)} distinct blocks interned" \
+            if interner is not None else ""
+        print(
+            f"wrote {written.path}: {len(written)} references"
+            f"{detail} (clients: {'yes' if written.has_clients else 'no'})"
+        )
+        return 0
+    # verb == "info"
+    if str(args.trace).endswith(COLUMNAR_SUFFIX):
+        columnar = ColumnarTrace(args.trace)
+        rows: List[List[object]] = [
+            ["path", str(columnar.path)],
+            ["references", len(columnar)],
+            ["clients column", "yes" if columnar.has_clients else "no"],
+            ["distinct blocks", columnar.num_unique
+             if columnar.num_unique is not None else "(not interned)"],
+            ["name", columnar.info.name],
+            ["pattern", columnar.info.pattern],
+        ]
+        print(format_table(["property", "value"], rows,
+                           title="columnar trace"))
+        return 0
+    chunks, info = open_trace_chunks(
+        args.trace,
+        fmt=args.trace_format,
+        block_column=args.block_column,
+        client_column=args.client_column,
+        delimiter=args.delimiter,
+        skip_header=args.skip_header,
+        dtype=args.binary_dtype,
+        chunk_size=chunk_size,
+    )
+    refs = 0
+    has_clients = False
+    for chunk in chunks:
+        refs += len(chunk.blocks)
+        has_clients = has_clients or chunk.clients is not None
+    rows = [
+        ["path", str(args.trace)],
+        ["references", refs],
+        ["clients column", "yes" if has_clients else "no"],
+        ["name", info.name],
+        ["pattern", info.pattern],
+    ]
+    print(format_table(["property", "value"], rows, title="trace"))
+    return 0
+
+
+def _validate_capacities(capacities: List[int]) -> List[int]:
+    """Reject non-positive or duplicate ``--capacities`` values with a
+    :class:`ConfigurationError` (CLI exit code 2) instead of letting a
+    raw traceback escape from the profilers."""
+    from repro.errors import ConfigurationError
+
+    for capacity in capacities:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"--capacities values must be positive, got {capacity}"
+            )
+    seen = set()
+    for capacity in capacities:
+        if capacity in seen:
+            raise ConfigurationError(
+                f"--capacities values must be unique, got {capacity} twice"
+            )
+        seen.add(capacity)
+    return capacities
+
+
 def _default_mrc_capacities(num_unique: int) -> List[int]:
     """Geometric capacity points up to the trace's distinct-block count
     (past which the curve is flat: only compulsory misses remain)."""
@@ -195,36 +322,103 @@ def _run_mrc(args: argparse.Namespace) -> str:
     Computes the exact Mattson miss-ratio curve of a trace
     (:func:`repro.analysis.mrc.mrc_for_trace`) and, with ``--che``, the
     Che/Fagin closed-form estimate alongside for comparison.
+    ``--shards RATE`` / ``--aet RATE`` add sampled approximate curves
+    (:mod:`repro.analysis.approx`); ``--approx-only`` skips the exact
+    pass entirely, which is the point for traces too large to profile
+    exactly — a columnar ``.ctr`` input is then streamed chunk-wise and
+    never materialised.
     """
+    from repro.analysis.approx import aet_mrc, shards_mrc
     from repro.analysis.mrc import che_mrc, mrc_for_trace
+    from repro.errors import ConfigurationError
     from repro.runner import WorkloadSpec, materialize_trace
     from repro.util.tables import format_table
+    from repro.workloads.io import COLUMNAR_SUFFIX, ColumnarTrace
 
-    if args.trace is not None:
-        workload = WorkloadSpec("file", str(args.trace))
-    else:
-        workload = WorkloadSpec(
-            "large", args.workload, {"num_refs": args.refs}
-        )
-    trace = materialize_trace(workload)
-    capacities = args.capacities or _default_mrc_capacities(
-        trace.num_unique_blocks
+    capacities = (
+        _validate_capacities(args.capacities) if args.capacities else None
     )
-    curve = mrc_for_trace(trace, args.warmup, capacities=capacities)
-    headers = ["capacity (blocks)", "hit rate", "miss ratio"]
-    rows: List[List[object]] = [
-        [capacity, f"{hit:.4f}", f"{1.0 - hit:.4f}"]
-        for capacity, hit in zip(curve.capacities, curve.hit_rates)
-    ]
+    want_approx = args.shards is not None or args.aet is not None
+    if args.approx_only and not want_approx:
+        raise ConfigurationError(
+            "--approx-only needs at least one of --shards / --aet"
+        )
+
+    if args.che and args.approx_only:
+        raise ConfigurationError(
+            "--che needs the exact pass (drop --approx-only)"
+        )
+    source = None
+    if args.trace is not None and str(args.trace).endswith(COLUMNAR_SUFFIX):
+        source = ColumnarTrace(args.trace)
+    # Any non-columnar input still materialises once below; the approx
+    # profilers then consume the in-memory trace chunk-wise.
+    trace = None
+    if not args.approx_only or source is None:
+        if args.trace is not None:
+            workload = WorkloadSpec("file", str(args.trace))
+        else:
+            workload = WorkloadSpec(
+                "large", args.workload, {"num_refs": args.refs}
+            )
+        trace = materialize_trace(workload)
+    if source is None:
+        source = trace
+
+    headers = ["capacity (blocks)"]
+    columns: List[List[float]] = []
+    exact = None
+    if trace is not None and not args.approx_only:
+        capacities = capacities or _default_mrc_capacities(
+            trace.num_unique_blocks
+        )
+        exact = mrc_for_trace(trace, args.warmup, capacities=capacities)
+        headers += ["hit rate", "miss ratio"]
+    shards_curve = None
+    if args.shards is not None:
+        shards_curve = shards_mrc(
+            source, capacities, rate=args.shards,
+            warmup_fraction=args.warmup, s_max=args.smax,
+        )
+        capacities = list(shards_curve.capacities)
+        headers.append(f"shards hit rate (R={args.shards:g})")
+    aet_curve = None
+    if args.aet is not None:
+        aet_curve = aet_mrc(
+            source, capacities, rate=args.aet,
+            warmup_fraction=args.warmup,
+        )
+        capacities = list(aet_curve.capacities)
+        headers.append(f"aet hit rate (R={args.aet:g})")
     if args.che:
-        estimate = che_mrc(trace, capacities, args.warmup)
         headers.append("che hit rate")
-        for row, approx in zip(rows, estimate.hit_rates):
-            row.append(f"{approx:.4f}")
+
+    reference = exact or shards_curve or aet_curve
+    if reference is None or capacities is None:
+        # Unreachable through the validated flag combinations above.
+        raise ConfigurationError(
+            "nothing to compute: pass --shards/--aet or drop --approx-only"
+        )
+    rows: List[List[object]] = [[capacity] for capacity in capacities]
+    if exact is not None:
+        for row, hit in zip(rows, exact.hit_rates):
+            row += [f"{hit:.4f}", f"{1.0 - hit:.4f}"]
+    if shards_curve is not None:
+        for row, hit in zip(rows, shards_curve.hit_rates):
+            row.append(f"{hit:.4f}")
+    if aet_curve is not None:
+        for row, hit in zip(rows, aet_curve.hit_rates):
+            row.append(f"{hit:.4f}")
+    if args.che and trace is not None:
+        estimate = che_mrc(trace, capacities, args.warmup)
+        for row, hit in zip(rows, estimate.hit_rates):
+            row.append(f"{hit:.4f}")
+
     title = (
-        f"LRU miss-ratio curve: {trace.info.name} "
-        f"({curve.references} refs measured, "
-        f"{curve.num_unique_blocks} distinct blocks)"
+        f"LRU miss-ratio curve: {source.info.name} "
+        f"({reference.references} refs measured, "
+        f"{reference.num_unique_blocks} distinct blocks"
+        f"{' est.' if exact is None else ''})"
     )
     return format_table(headers, rows, title=title)
 
@@ -452,6 +646,10 @@ def _run_simulate(args: argparse.Namespace) -> str:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.analysis.approx import (
+        DEFAULT_SAMPLE_RATE as APPROX_DEFAULT_RATE,
+    )
+
     parser = argparse.ArgumentParser(
         prog="ulc-repro",
         description=(
@@ -622,6 +820,113 @@ def build_parser() -> argparse.ArgumentParser:
             "alongside the exact curve"
         ),
     )
+    mrc.add_argument(
+        "--shards",
+        nargs="?",
+        const=APPROX_DEFAULT_RATE,
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "mrc: add the SHARDS spatially-sampled estimate at this "
+            f"sampling rate (flag alone: {APPROX_DEFAULT_RATE})"
+        ),
+    )
+    mrc.add_argument(
+        "--aet",
+        nargs="?",
+        const=APPROX_DEFAULT_RATE,
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "mrc: add the AET reuse-time-sampled estimate at this "
+            f"sampling rate (flag alone: {APPROX_DEFAULT_RATE})"
+        ),
+    )
+    mrc.add_argument(
+        "--smax",
+        type=int,
+        default=None,
+        metavar="SAMPLES",
+        help=(
+            "mrc: cap SHARDS at a fixed sample budget (fixed-size "
+            "variant, rate adapts downward; implies --shards)"
+        ),
+    )
+    mrc.add_argument(
+        "--approx-only",
+        action="store_true",
+        help=(
+            "mrc: skip the exact Mattson pass entirely (requires "
+            "--shards or --aet; the only mode that never materialises "
+            "a .ctr trace in memory)"
+        ),
+    )
+    trace_group = parser.add_argument_group("trace options")
+    trace_group.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR.ctr",
+        help="trace convert: columnar output directory to write",
+    )
+    trace_group.add_argument(
+        "--trace-format",
+        default="auto",
+        choices=["auto", "columnar", "npz", "csv", "binary", "text"],
+        help="trace: input format (default: by file suffix)",
+    )
+    trace_group.add_argument(
+        "--block-column",
+        type=int,
+        default=0,
+        metavar="COL",
+        help="trace convert: CSV column holding block ids (default 0)",
+    )
+    trace_group.add_argument(
+        "--client-column",
+        type=int,
+        default=None,
+        metavar="COL",
+        help="trace convert: CSV column holding client ids (default: none)",
+    )
+    trace_group.add_argument(
+        "--delimiter",
+        default=",",
+        help="trace convert: CSV field delimiter (default ',')",
+    )
+    trace_group.add_argument(
+        "--skip-header",
+        action="store_true",
+        help="trace convert: skip the first CSV line",
+    )
+    trace_group.add_argument(
+        "--binary-dtype",
+        default="<i8",
+        metavar="DTYPE",
+        help=(
+            "trace convert: numpy dtype of raw binary block-id streams "
+            "(default '<i8')"
+        ),
+    )
+    trace_group.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="REFS",
+        help=(
+            "trace/mrc: streaming chunk size in references (default "
+            "1Mi); bounds resident memory for .ctr sources"
+        ),
+    )
+    trace_group.add_argument(
+        "--intern",
+        action="store_true",
+        help=(
+            "trace convert: renumber block ids into a dense 0..n-1 "
+            "range while converting (first-seen order)"
+        ),
+    )
     check = parser.add_argument_group("check options")
     check.add_argument(
         "--format",
@@ -695,6 +1000,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_check(args)
         if args.experiment == "bench":
             return _run_bench(args)
+        if args.experiment == "trace":
+            return _run_trace(args)
         if args.experiment == "simulate":
             report = _run_simulate(args)
         elif args.experiment == "mrc":

@@ -168,8 +168,16 @@ def _cache_accept(spec: RunSpec) -> Callable[[RunResult], bool]:
     scheme remains MRC-derivable. If eligibility changes (a scheme
     gains kwargs, goes multi-client, or ``supports_scheme`` tightens),
     a stale ``mrc_derived`` entry must be re-simulated, not served.
+
+    Entries flagged ``mrc_approx`` (derived from a sampled SHARDS/AET
+    curve) are *never* served: their counters are estimates, and a spec
+    hash promises the exact simulation output. They may share a cache
+    directory with exact results but only explicit approximate
+    pipelines consume them.
     """
     def accept(result: RunResult) -> bool:
+        if result.extras.get("mrc_approx"):
+            return False
         if not result.extras.get("mrc_derived"):
             return True
         from repro.analysis.mrc import supports_scheme

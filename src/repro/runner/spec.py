@@ -63,8 +63,8 @@ class WorkloadSpec:
     Attributes:
         kind: ``"large"`` / ``"multi"`` / ``"small"`` (the named paper
             workload families), ``"synthetic"`` (a pattern primitive from
-            :mod:`repro.workloads.synthetic`) or ``"file"`` (an ``.npz``
-            or text trace on disk).
+            :mod:`repro.workloads.synthetic`) or ``"file"`` (an ``.npz``,
+            columnar ``.ctr`` or text trace on disk).
         name: workload/generator name, or the file path for ``"file"``.
         params: keyword arguments forwarded to the factory (``scale``,
             ``num_refs``, ``seed`` ...). Must be JSON-serializable.
@@ -142,18 +142,38 @@ class WorkloadSpec:
                 ) from None
             return generator(**self.params)
         # kind == "file"
-        from repro.workloads.io import load_npz, load_text
+        from repro.workloads.io import (
+            COLUMNAR_SUFFIX,
+            ColumnarTrace,
+            load_npz,
+            load_text,
+        )
 
+        if str(self.name).endswith(COLUMNAR_SUFFIX):
+            return ColumnarTrace(self.name).materialize()
         if str(self.name).endswith(".npz"):
             return load_npz(self.name)
         return load_text(self.name)
 
 
 def _file_digest(path: str) -> str:
+    """Content digest of a trace file, or of a columnar trace directory
+    (every member file, visited in sorted-name order, with names folded
+    into the digest so renames invalidate too)."""
     digest = hashlib.sha256()
-    with open(Path(path), "rb") as handle:
-        for chunk in iter(lambda: handle.read(1 << 20), b""):
-            digest.update(chunk)
+    target = Path(path)
+    members = (
+        sorted(p for p in target.iterdir() if p.is_file())
+        if target.is_dir()
+        else [target]
+    )
+    for member in members:
+        if target.is_dir():
+            digest.update(member.name.encode("utf-8"))
+            digest.update(b"\x00")
+        with open(member, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
     return digest.hexdigest()
 
 

@@ -30,7 +30,7 @@ them).
 from __future__ import annotations
 
 import warnings
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from repro.sim.metrics import MetricsCollector
 from repro.sim.results import ClientStats, RunResult
 from repro.util.validation import check_fraction
 from repro.workloads.base import Trace
+from repro.workloads.io import DEFAULT_CHUNK_REFS, StreamingTrace, iter_chunks
 
 #: The paper's warm-up fraction ("the first one tenth of block references").
 DEFAULT_WARMUP = 0.1
@@ -54,64 +55,69 @@ _MAX_SCALAR_RUN = 32
 
 
 # repro: hot
-def _drive(
+def _span_scalar(
     scheme: MultiLevelScheme,
-    trace: Trace,
-    warmup_fraction: float,
+    blocks_arr: np.ndarray,
+    clients_arr: Optional[np.ndarray],
+    warmup_local: int,
     metrics: MetricsCollector,
-) -> int:
-    """Feed the whole trace through ``scheme``, recording post-warm-up
-    events into ``metrics``; returns the warm-up reference count.
+) -> None:
+    """Feed one contiguous span of references through ``scheme``,
+    recording every event from local index ``warmup_local`` onward.
+
+    The span is the whole trace for :func:`_drive` (``warmup_local`` is
+    then the global warm-up count) and one chunk for
+    :func:`_drive_stream` (``warmup_local`` is the warm-up boundary
+    clamped into the chunk — 0 once warm-up is behind us).
 
     Zero-allocation iteration: the column arrays are walked through
     ``memoryview`` s, which yield plain Python ints per element (dict-key
     speed, no NumPy scalar boxing) without materialising a list copy of
-    the trace. The loop is split at the warm-up boundary — the measured
+    the span. The loop is split at the warm-up boundary — the measured
     loop records unconditionally instead of testing an index per
-    reference — and a single-client trace skips the client column
-    entirely.
+    reference — and a span without client annotations skips the client
+    column entirely.
     """
-    check_fraction("warmup_fraction", warmup_fraction)
-    warmup_count = int(len(trace) * warmup_fraction)
-    blocks = memoryview(trace.blocks)
+    blocks = memoryview(blocks_arr)
     access = scheme.access
     record = metrics.record
-    if trace.clients.any():
-        clients = memoryview(trace.clients)
+    if clients_arr is not None and clients_arr.any():
+        clients = memoryview(clients_arr)
         for client, block in zip(
-            clients[:warmup_count], blocks[:warmup_count]
+            clients[:warmup_local], blocks[:warmup_local]
         ):
             access(client, block)
         for client, block in zip(
-            clients[warmup_count:], blocks[warmup_count:]
+            clients[warmup_local:], blocks[warmup_local:]
         ):
             record(access(client, block))
     else:
-        for block in blocks[:warmup_count]:
+        for block in blocks[:warmup_local]:
             access(0, block)
-        for block in blocks[warmup_count:]:
+        for block in blocks[warmup_local:]:
             record(access(0, block))
-    return warmup_count
 
 
 # repro: hot
-def _drive_batched(
+def _span_batched(
     scheme: MultiLevelScheme,
-    trace: Trace,
-    warmup_fraction: float,
+    blocks_arr: np.ndarray,
+    clients_arr: Optional[np.ndarray],
+    warmup_local: int,
     metrics: MetricsCollector,
     batch_size: int,
-) -> int:
-    """The batched drive loop: bit-identical to :func:`_drive`.
+) -> None:
+    """One contiguous span through the batched loop: bit-identical to
+    :func:`_span_scalar` over the same span.
 
-    Each chunk alternates between the scheme's ``access_hit_run`` fast
+    Each window alternates between the scheme's ``access_hit_run`` fast
     path (consume a stretch of pure level-1 hits, record them in bulk —
     :meth:`MetricsCollector.record_l1_hits` is exactly n ``record``
     calls for such events) and one exact per-reference ``access`` step
     for the reference that stopped the run. Warm-up is handled by
     clipping each consumed run against the warm-up boundary, so the
-    recorded counters match the split loops of :func:`_drive` reference
-    for reference.
+    recorded counters match the split loops of :func:`_span_scalar`
+    reference for reference.
 
     Every hit-run kernel pays O(window) per probe (array conversion or
     a bitmap gather over the whole window), so probing a full window
@@ -122,17 +128,13 @@ def _drive_batched(
     exact ``access`` and runs are prefix-exact whatever the probe
     cadence, so the backoff changes throughput only, never results.
     """
-    check_fraction("warmup_fraction", warmup_fraction)
-    n = len(trace)
-    warmup_count = int(n * warmup_fraction)
-    blocks_arr = trace.blocks
+    n = len(blocks_arr)
     blocks = memoryview(blocks_arr)
     access = scheme.access
     record = metrics.record
     record_hits = metrics.record_l1_hits
     index = 0
-    if trace.clients.any():
-        clients_arr = trace.clients
+    if clients_arr is not None and clients_arr.any():
         clients = memoryview(clients_arr)
         run = scheme.access_hit_run_multi
         num_clients = metrics.num_clients
@@ -148,7 +150,7 @@ def _drive_batched(
                 if consumed >= _MAX_SCALAR_RUN:
                     scalar_run = 1
                 stop = index + consumed
-                measured_from = warmup_count if index < warmup_count \
+                measured_from = warmup_local if index < warmup_local \
                     else index
                 if stop > measured_from:
                     per_client = np.bincount(
@@ -168,7 +170,7 @@ def _drive_batched(
                 stop = n
             while index < stop:
                 event = access(clients[index], blocks[index])
-                if index >= warmup_count:
+                if index >= warmup_local:
                     record(event)
                 index += 1
     else:
@@ -183,7 +185,7 @@ def _drive_batched(
                 if consumed >= _MAX_SCALAR_RUN:
                     scalar_run = 1
                 stop = index + consumed
-                measured_from = warmup_count if index < warmup_count \
+                measured_from = warmup_local if index < warmup_local \
                     else index
                 if stop > measured_from:
                     record_hits(0, stop - measured_from)
@@ -197,9 +199,99 @@ def _drive_batched(
                 stop = n
             while index < stop:
                 event = access(0, blocks[index])
-                if index >= warmup_count:
+                if index >= warmup_local:
                     record(event)
                 index += 1
+
+
+def _drive(
+    scheme: MultiLevelScheme,
+    trace: Trace,
+    warmup_fraction: float,
+    metrics: MetricsCollector,
+) -> int:
+    """Feed the whole trace through ``scheme``, recording post-warm-up
+    events into ``metrics``; returns the warm-up reference count. One
+    whole-trace span through :func:`_span_scalar`.
+    """
+    check_fraction("warmup_fraction", warmup_fraction)
+    warmup_count = int(len(trace) * warmup_fraction)
+    _span_scalar(
+        scheme,
+        trace.blocks,
+        trace.clients if trace.clients.any() else None,
+        warmup_count,
+        metrics,
+    )
+    return warmup_count
+
+
+def _drive_batched(
+    scheme: MultiLevelScheme,
+    trace: Trace,
+    warmup_fraction: float,
+    metrics: MetricsCollector,
+    batch_size: int,
+) -> int:
+    """The batched drive loop: bit-identical to :func:`_drive`. One
+    whole-trace span through :func:`_span_batched`."""
+    check_fraction("warmup_fraction", warmup_fraction)
+    warmup_count = int(len(trace) * warmup_fraction)
+    _span_batched(
+        scheme,
+        trace.blocks,
+        trace.clients if trace.clients.any() else None,
+        warmup_count,
+        metrics,
+        batch_size,
+    )
+    return warmup_count
+
+
+def _drive_stream(
+    scheme: MultiLevelScheme,
+    source: Union[Trace, StreamingTrace],
+    warmup_fraction: float,
+    metrics: MetricsCollector,
+    batch_size: Optional[int],
+    chunk_size: int,
+) -> int:
+    """Chunk-wise drive over a streaming source; returns the warm-up
+    reference count.
+
+    Each chunk goes through the same span loops the materialised drives
+    use, with the global warm-up boundary clamped into the chunk
+    (``warmup_local``), so the recorded counters are bit-identical to
+    materialising the source and calling :func:`_drive` /
+    :func:`_drive_batched` — only peak memory differs: at most one
+    chunk of the reference stream is resident at a time (for an
+    mmap-backed :class:`~repro.workloads.io.ColumnarTrace`, a zero-copy
+    view of the page cache). The per-chunk ``scalar_run`` backoff reset
+    in the batched span changes probe cadence only, never results.
+    """
+    check_fraction("warmup_fraction", warmup_fraction)
+    warmup_count = int(len(source) * warmup_fraction)
+    batched = batch_size is not None and getattr(
+        scheme, "supports_batch", False
+    )
+    for chunk in iter_chunks(source, chunk_size):
+        span = len(chunk.blocks)
+        if span == 0:
+            continue
+        warmup_local = warmup_count - chunk.offset
+        if warmup_local < 0:
+            warmup_local = 0
+        elif warmup_local > span:
+            warmup_local = span
+        if batched and batch_size is not None:
+            _span_batched(
+                scheme, chunk.blocks, chunk.clients, warmup_local,
+                metrics, batch_size,
+            )
+        else:
+            _span_scalar(
+                scheme, chunk.blocks, chunk.clients, warmup_local, metrics
+            )
     return warmup_count
 
 
@@ -301,6 +393,65 @@ class Engine:
             self.scheme.num_levels, self.scheme.num_clients
         )
         self._run(trace, metrics, batch_size)
+        return metrics
+
+    def drive_stream(
+        self,
+        source: Union[Trace, StreamingTrace],
+        *,
+        batch_size: Optional[int] = None,
+        chunk_size: int = DEFAULT_CHUNK_REFS,
+    ) -> RunResult:
+        """Drive a streaming source chunk-wise; return the measured
+        result.
+
+        The streaming analogue of :meth:`drive`: ``source`` may be an
+        on-disk :class:`~repro.workloads.io.ColumnarTrace` (or any
+        :class:`~repro.workloads.io.StreamingTrace`) and is consumed
+        one ``chunk_size`` span at a time — the full reference array is
+        never materialised. Counters, and therefore the packaged
+        result, are bit-identical to materialising the source and
+        calling :meth:`drive` with the same ``batch_size``.
+        """
+        if self.costs is None:
+            raise ConfigurationError(
+                "Engine.drive_stream needs a cost model: construct the "
+                "Engine with costs=..., or use Engine.collect_stream "
+                "for raw counters"
+            )
+        metrics = MetricsCollector(
+            self.scheme.num_levels, self.scheme.num_clients
+        )
+        warmup_count = _drive_stream(
+            self.scheme, source, self.warmup_fraction, metrics,
+            _check_batch_size(batch_size), chunk_size,
+        )
+        return result_from_metrics(
+            self.scheme.name,
+            source.info.name,
+            list(self.scheme.capacities),
+            metrics,
+            self.costs,
+            warmup_count,
+        )
+
+    def collect_stream(
+        self,
+        source: Union[Trace, StreamingTrace],
+        *,
+        batch_size: Optional[int] = None,
+        chunk_size: int = DEFAULT_CHUNK_REFS,
+        collector: Optional[MetricsCollector] = None,
+    ) -> MetricsCollector:
+        """Drive a streaming source chunk-wise and return the raw
+        collector. Same loops as :meth:`drive_stream`."""
+        metrics = collector or MetricsCollector(
+            self.scheme.num_levels, self.scheme.num_clients
+        )
+        _drive_stream(
+            self.scheme, source, self.warmup_fraction, metrics,
+            _check_batch_size(batch_size), chunk_size,
+        )
         return metrics
 
 

@@ -10,12 +10,22 @@ from typing import Dict, List, Union
 
 
 #: ``extras`` keys holding measurement metadata: wall-clock numbers and
-#: the ``mrc_derived`` provenance flag (set when a result was derived
-#: from a miss-ratio-curve pass instead of a point simulation). They can
-#: vary run to run even when the simulation output is bit-identical, so
+#: the provenance flags — ``mrc_derived`` (the result was derived from
+#: an exact miss-ratio-curve pass instead of a point simulation) and
+#: ``mrc_approx`` / ``mrc_sample_rate`` (derived from a *sampled*
+#: SHARDS/AET curve, so the counters are estimates). They can vary run
+#: to run even when the simulation output is bit-identical, so
 #: determinism checks go through :meth:`RunResult.comparable`, which
 #: strips them.
-TIMING_EXTRAS = frozenset({"wall_time_s", "refs_per_s", "mrc_derived"})
+TIMING_EXTRAS = frozenset(
+    {
+        "wall_time_s",
+        "refs_per_s",
+        "mrc_derived",
+        "mrc_approx",
+        "mrc_sample_rate",
+    }
+)
 
 
 @dataclass(frozen=True)

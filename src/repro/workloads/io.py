@@ -1,25 +1,81 @@
-"""Trace persistence.
+"""Trace persistence and streaming ingestion.
 
-Two formats:
+Materialised formats:
 
 - ``.npz`` — compact binary (NumPy archive) including metadata; the
   default for generated traces.
 - text — one ``client block`` pair per line with ``#``-comments, for
   interoperability with external trace tools and hand-written fixtures.
+
+Streaming formats (for traces too large to materialise):
+
+- ``.ctr`` — a *columnar trace* directory: raw little-endian column
+  files (``blocks.bin`` int64, optional ``clients.bin`` int32) plus a
+  ``meta.json`` manifest. Written in one pass by
+  :func:`convert_to_columnar` and read back chunk-wise through
+  ``np.memmap`` by :class:`ColumnarTrace`, so a 10^8-reference trace
+  costs O(chunk) resident memory on both sides.
+- chunked readers for external block traces — :func:`stream_csv`,
+  :func:`stream_text`, :func:`stream_binary` — each yielding
+  :class:`TraceChunk` batches without ever holding the whole file.
+
+:class:`StreamingTrace` is the chunk-wise consumption contract shared
+by the simulation engine (``Engine.drive_stream``) and the approximate
+MRC profilers (:mod:`repro.analysis.approx`); :func:`iter_chunks`
+adapts an in-memory :class:`Trace` to the same protocol so every
+consumer is written once against chunks.
+
+:class:`DenseInterner` provides on-the-fly dense-id interning for
+conversion pipelines. Its id-assignment order (first appearance, ties
+within a chunk in sorted block-id order) intentionally differs from
+:class:`~repro.workloads.base.TracePreprocess`'s whole-trace sorted
+contract — a streaming pass cannot know the global sort order — so
+interned ids are dense and deterministic but not sorted by block id.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.errors import TraceFormatError
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.util.validation import check_positive
 from repro.workloads.base import Trace, TraceInfo
 
 PathLike = Union[str, Path]
+
+#: Default references per chunk for every chunk-wise reader/consumer:
+#: 1 Mi references = 8 MiB of block ids, small enough to stay cache- and
+#: memory-friendly, large enough to amortise per-chunk Python overhead.
+DEFAULT_CHUNK_REFS = 1 << 20
+
+#: Columnar trace directory layout.
+COLUMNAR_SUFFIX = ".ctr"
+COLUMNAR_FORMAT = "repro-columnar-trace"
+COLUMNAR_VERSION = 1
+_META_FILE = "meta.json"
+_BLOCKS_FILE = "blocks.bin"
+_CLIENTS_FILE = "clients.bin"
+_BLOCK_DTYPE = "<i8"
+_CLIENT_DTYPE = "<i4"
+
+
+class TraceChunk(NamedTuple):
+    """One contiguous batch of a reference stream.
+
+    Attributes:
+        blocks: int64 block ids (may be a view into an mmap).
+        clients: int32 client ids, or ``None`` for a single-client
+            stretch (client 0 implied).
+        offset: global position of ``blocks[0]`` in the full stream.
+    """
+
+    blocks: np.ndarray
+    clients: Optional[np.ndarray]
+    offset: int
 
 
 def save_npz(trace: Trace, path: PathLike) -> None:
@@ -105,3 +161,555 @@ def load_text(path: PathLike) -> Trace:
     except OSError as exc:
         raise TraceFormatError(f"cannot read trace {path}: {exc}") from exc
     return Trace(blocks, clients, TraceInfo(name=name, pattern=pattern))
+
+
+# ---------------------------------------------------------------------------
+# Streaming consumption protocol
+# ---------------------------------------------------------------------------
+
+
+class StreamingTrace:
+    """A length-known reference stream consumed chunk by chunk.
+
+    The contract shared by the streaming profilers and
+    ``Engine.drive_stream``: ``len(source)`` is the total reference
+    count, ``source.info`` describes the trace, and
+    ``source.chunks(chunk_size)`` yields :class:`TraceChunk` batches in
+    stream order with correct global offsets. Implementations must
+    never require the whole stream to be resident.
+    """
+
+    info: TraceInfo
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def chunks(
+        self, chunk_size: int = DEFAULT_CHUNK_REFS
+    ) -> Iterator[TraceChunk]:
+        """Yield the stream as consecutive :class:`TraceChunk` batches."""
+        raise NotImplementedError
+
+    def materialize(self) -> Trace:
+        """Load the whole stream into an in-memory :class:`Trace`.
+
+        Convenience for small streams and exact cross-checks; defeats
+        the point for 10^8-reference traces.
+        """
+        blocks: List[np.ndarray] = []
+        clients: List[np.ndarray] = []
+        for chunk in self.chunks():
+            blocks.append(np.asarray(chunk.blocks, dtype=np.int64))
+            if chunk.clients is None:
+                clients.append(np.zeros(len(chunk.blocks), dtype=np.int32))
+            else:
+                clients.append(np.asarray(chunk.clients, dtype=np.int32))
+        if not blocks:
+            return Trace(
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int32),
+                self.info,
+            )
+        return Trace(
+            np.concatenate(blocks), np.concatenate(clients), self.info
+        )
+
+
+def iter_chunks(
+    source: Union[Trace, StreamingTrace],
+    chunk_size: int = DEFAULT_CHUNK_REFS,
+) -> Iterator[TraceChunk]:
+    """Adapt a :class:`Trace` or :class:`StreamingTrace` to chunk form.
+
+    In-memory traces are sliced without copying (the single-client case
+    yields ``clients=None`` so consumers skip the client column);
+    streaming sources pass through their own :meth:`~StreamingTrace.chunks`.
+    """
+    check_positive("chunk_size", chunk_size)
+    if isinstance(source, Trace):
+        blocks = source.blocks
+        clients = source.clients if source.clients.any() else None
+        for start in range(0, len(blocks), chunk_size):
+            stop = min(start + chunk_size, len(blocks))
+            yield TraceChunk(
+                blocks[start:stop],
+                None if clients is None else clients[start:stop],
+                start,
+            )
+        return
+    yield from source.chunks(chunk_size)
+
+
+# ---------------------------------------------------------------------------
+# Columnar on-disk format
+# ---------------------------------------------------------------------------
+
+
+class ColumnarTrace(StreamingTrace):
+    """mmap-backed reader of a ``.ctr`` columnar trace directory.
+
+    The manifest is read eagerly (so ``len``/``info`` are free); the
+    column files are memory-mapped read-only on demand, and
+    :meth:`chunks` yields zero-copy views into the map — the OS pages
+    the trace in and out as the consumer walks it.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        meta_path = self.path / _META_FILE
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TraceFormatError(
+                f"cannot read columnar trace manifest {meta_path}: {exc}"
+            ) from exc
+        if meta.get("format") != COLUMNAR_FORMAT:
+            raise TraceFormatError(
+                f"{meta_path}: not a columnar trace manifest "
+                f"(format={meta.get('format')!r})"
+            )
+        if int(meta.get("version", 0)) != COLUMNAR_VERSION:
+            raise TraceFormatError(
+                f"{meta_path}: unsupported columnar version "
+                f"{meta.get('version')!r} (this build reads "
+                f"{COLUMNAR_VERSION})"
+            )
+        self._num_refs = int(meta["refs"])
+        self._has_clients = bool(meta.get("has_clients", False))
+        self.num_unique: Optional[int] = (
+            int(meta["num_unique"]) if meta.get("num_unique") is not None
+            else None
+        )
+        about = meta.get("info", {})
+        self.info = TraceInfo(
+            name=about.get("name", self.path.stem),
+            description=about.get("description", ""),
+            pattern=about.get("pattern", "unknown"),
+            seed=about.get("seed"),
+        )
+        self._check_column(_BLOCKS_FILE, 8)
+        if self._has_clients:
+            self._check_column(_CLIENTS_FILE, 4)
+
+    def _check_column(self, filename: str, itemsize: int) -> None:
+        column = self.path / filename
+        try:
+            actual = column.stat().st_size
+        except OSError as exc:
+            raise TraceFormatError(
+                f"columnar trace column missing: {column} ({exc})"
+            ) from exc
+        expected = self._num_refs * itemsize
+        if actual != expected:
+            raise TraceFormatError(
+                f"{column}: {actual} bytes on disk, manifest says "
+                f"{self._num_refs} refs ({expected} bytes)"
+            )
+
+    def __len__(self) -> int:
+        return self._num_refs
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarTrace(path={str(self.path)!r}, "
+            f"refs={self._num_refs}, clients={self._has_clients})"
+        )
+
+    @property
+    def has_clients(self) -> bool:
+        return self._has_clients
+
+    def _open_columns(
+        self,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        blocks = np.memmap(
+            self.path / _BLOCKS_FILE, dtype=np.dtype(_BLOCK_DTYPE),
+            mode="r", shape=(self._num_refs,),
+        )
+        clients = None
+        if self._has_clients:
+            clients = np.memmap(
+                self.path / _CLIENTS_FILE, dtype=np.dtype(_CLIENT_DTYPE),
+                mode="r", shape=(self._num_refs,),
+            )
+        return blocks, clients
+
+    def chunks(
+        self, chunk_size: int = DEFAULT_CHUNK_REFS
+    ) -> Iterator[TraceChunk]:
+        check_positive("chunk_size", chunk_size)
+        n = self._num_refs
+        if n == 0:
+            return
+        blocks, clients = self._open_columns()
+        for start in range(0, n, chunk_size):
+            stop = min(start + chunk_size, n)
+            yield TraceChunk(
+                blocks[start:stop],
+                None if clients is None else clients[start:stop],
+                start,
+            )
+
+
+def convert_to_columnar(
+    chunks: Iterable[TraceChunk],
+    path: PathLike,
+    info: Optional[TraceInfo] = None,
+    interner: Optional["DenseInterner"] = None,
+) -> ColumnarTrace:
+    """Stream ``chunks`` into a ``.ctr`` columnar trace directory.
+
+    One forward pass, O(chunk) resident memory: block ids (optionally
+    mapped through ``interner`` on the fly) are appended to
+    ``blocks.bin`` as they arrive. The client column is written lazily —
+    a stream that never shows a nonzero client id produces no
+    ``clients.bin`` at all; the first nonzero chunk backfills the zeros
+    for everything already written. The manifest is written last, so a
+    directory without ``meta.json`` is an aborted conversion, never a
+    readable trace.
+    """
+    target = Path(path)
+    target.mkdir(parents=True, exist_ok=True)
+    info = info or TraceInfo(name=target.stem)
+    refs = 0
+    clients_handle = None
+    try:
+        with open(target / _BLOCKS_FILE, "wb") as blocks_handle:
+            for chunk in chunks:
+                blocks = np.asarray(chunk.blocks, dtype=np.int64)
+                if interner is not None:
+                    blocks = interner.intern(blocks)
+                blocks.astype(_BLOCK_DTYPE, copy=False).tofile(blocks_handle)
+                col = chunk.clients
+                if col is not None and not np.any(col):
+                    col = None
+                if col is None and clients_handle is None:
+                    refs += len(blocks)
+                    continue
+                if clients_handle is None:
+                    # First nonzero-client chunk: open the column and
+                    # backfill zeros for the single-client prefix.
+                    clients_handle = open(target / _CLIENTS_FILE, "wb")
+                    zeros = np.zeros(
+                        min(refs, DEFAULT_CHUNK_REFS), dtype=_CLIENT_DTYPE
+                    )
+                    remaining = refs
+                    while remaining > 0:
+                        step = min(remaining, len(zeros))
+                        zeros[:step].tofile(clients_handle)
+                        remaining -= step
+                if col is None:
+                    np.zeros(len(blocks), dtype=_CLIENT_DTYPE).tofile(
+                        clients_handle
+                    )
+                else:
+                    np.asarray(col).astype(_CLIENT_DTYPE, copy=False).tofile(
+                        clients_handle
+                    )
+                refs += len(blocks)
+    finally:
+        if clients_handle is not None:
+            clients_handle.close()
+    meta = {
+        "format": COLUMNAR_FORMAT,
+        "version": COLUMNAR_VERSION,
+        "refs": refs,
+        "block_dtype": _BLOCK_DTYPE,
+        "client_dtype": _CLIENT_DTYPE,
+        "has_clients": clients_handle is not None,
+        "num_unique": len(interner) if interner is not None else None,
+        "info": {
+            "name": info.name,
+            "description": info.description,
+            "pattern": info.pattern,
+            "seed": info.seed,
+        },
+    }
+    (target / _META_FILE).write_text(
+        json.dumps(meta, indent=2) + "\n", encoding="utf-8"
+    )
+    return ColumnarTrace(target)
+
+
+def save_columnar(trace: Trace, path: PathLike) -> ColumnarTrace:
+    """Write an in-memory trace as a ``.ctr`` columnar directory."""
+    return convert_to_columnar(iter_chunks(trace), path, info=trace.info)
+
+
+# ---------------------------------------------------------------------------
+# Chunked readers for external trace dumps
+# ---------------------------------------------------------------------------
+
+
+def _flush_chunk(
+    blocks: List[int], clients: List[int], offset: int
+) -> TraceChunk:
+    client_col: Optional[np.ndarray] = None
+    if any(clients):
+        client_col = np.asarray(clients, dtype=np.int32)
+    return TraceChunk(
+        np.asarray(blocks, dtype=np.int64), client_col, offset
+    )
+
+
+def stream_text(
+    path: PathLike, chunk_size: int = DEFAULT_CHUNK_REFS
+) -> Iterator[TraceChunk]:
+    """Chunked reader for the ``client block``-per-line text format.
+
+    Same grammar as :func:`load_text` (single-field lines imply client
+    0; ``#`` starts a comment) but never holds more than ``chunk_size``
+    references. Header metadata is skipped — use :func:`text_trace_info`
+    to recover it.
+    """
+    check_positive("chunk_size", chunk_size)
+    blocks: List[int] = []
+    clients: List[int] = []
+    offset = 0
+    try:
+        with open(Path(path), "r", encoding="utf-8") as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                try:
+                    if len(parts) == 1:
+                        clients.append(0)
+                        blocks.append(int(parts[0]))
+                    elif len(parts) == 2:
+                        clients.append(int(parts[0]))
+                        blocks.append(int(parts[1]))
+                    else:
+                        raise ValueError("expected 1 or 2 fields")
+                except ValueError as exc:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: bad trace line {line!r} ({exc})"
+                    ) from exc
+                if len(blocks) >= chunk_size:
+                    yield _flush_chunk(blocks, clients, offset)
+                    offset += len(blocks)
+                    blocks, clients = [], []
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace {path}: {exc}") from exc
+    if blocks:
+        yield _flush_chunk(blocks, clients, offset)
+
+
+def text_trace_info(path: PathLike) -> TraceInfo:
+    """Metadata of a text trace from its leading ``#`` header lines."""
+    name = Path(path).stem
+    pattern = "unknown"
+    try:
+        with open(Path(path), "r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                if not line.startswith("#"):
+                    break
+                body = line[1:].strip()
+                if body.startswith("name:"):
+                    name = body[len("name:"):].strip()
+                elif body.startswith("pattern:"):
+                    pattern = body[len("pattern:"):].strip()
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace {path}: {exc}") from exc
+    return TraceInfo(name=name, pattern=pattern)
+
+
+def stream_csv(
+    path: PathLike,
+    block_column: int = 0,
+    client_column: Optional[int] = None,
+    delimiter: str = ",",
+    skip_header: bool = False,
+    chunk_size: int = DEFAULT_CHUNK_REFS,
+) -> Iterator[TraceChunk]:
+    """Chunked reader for delimited block traces (CSV and friends).
+
+    ``block_column``/``client_column`` select 0-based fields; lines that
+    are empty or start with ``#`` are skipped, and ``skip_header`` drops
+    the first data line (a column-name row). Block ids may exceed 2^31 —
+    the column is int64 end to end.
+    """
+    check_positive("chunk_size", chunk_size)
+    blocks: List[int] = []
+    clients: List[int] = []
+    offset = 0
+    pending_header = skip_header
+    try:
+        with open(Path(path), "r", encoding="utf-8") as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                if pending_header:
+                    pending_header = False
+                    continue
+                parts = line.split(delimiter)
+                try:
+                    blocks.append(int(parts[block_column].strip()))
+                    clients.append(
+                        int(parts[client_column].strip())
+                        if client_column is not None else 0
+                    )
+                except (ValueError, IndexError) as exc:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: bad trace line {line!r} ({exc})"
+                    ) from exc
+                if len(blocks) >= chunk_size:
+                    yield _flush_chunk(blocks, clients, offset)
+                    offset += len(blocks)
+                    blocks, clients = [], []
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace {path}: {exc}") from exc
+    if blocks:
+        yield _flush_chunk(blocks, clients, offset)
+
+
+def stream_binary(
+    path: PathLike,
+    dtype: str = _BLOCK_DTYPE,
+    chunk_size: int = DEFAULT_CHUNK_REFS,
+) -> Iterator[TraceChunk]:
+    """Chunked reader for a flat binary array of block ids.
+
+    ``dtype`` is any NumPy dtype string (default little-endian int64);
+    the stream is single-client. The file size must be a whole number of
+    items.
+    """
+    check_positive("chunk_size", chunk_size)
+    source = Path(path)
+    item = np.dtype(dtype)
+    try:
+        size = source.stat().st_size
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace {path}: {exc}") from exc
+    if size % item.itemsize:
+        raise TraceFormatError(
+            f"{path}: {size} bytes is not a whole number of "
+            f"{item.itemsize}-byte ({dtype}) items"
+        )
+    offset = 0
+    try:
+        with open(source, "rb") as handle:
+            while True:
+                raw = np.fromfile(handle, dtype=item, count=chunk_size)
+                if len(raw) == 0:
+                    break
+                yield TraceChunk(
+                    raw.astype(np.int64, copy=False), None, offset
+                )
+                offset += len(raw)
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace {path}: {exc}") from exc
+
+
+def open_trace_chunks(
+    path: PathLike,
+    fmt: str = "auto",
+    block_column: int = 0,
+    client_column: Optional[int] = None,
+    delimiter: str = ",",
+    skip_header: bool = False,
+    dtype: str = _BLOCK_DTYPE,
+    chunk_size: int = DEFAULT_CHUNK_REFS,
+) -> Tuple[Iterator[TraceChunk], TraceInfo]:
+    """Open any supported trace as ``(chunk iterator, metadata)``.
+
+    ``fmt`` of ``"auto"`` dispatches on the suffix (``.ctr`` columnar,
+    ``.npz`` archive, ``.csv`` delimited, ``.bin``/``.raw`` flat binary,
+    anything else text); the explicit names ``columnar``/``npz``/
+    ``csv``/``binary``/``text`` override it.
+    """
+    source = Path(path)
+    if fmt == "auto":
+        suffix = source.suffix.lower()
+        fmt = {
+            COLUMNAR_SUFFIX: "columnar",
+            ".npz": "npz",
+            ".csv": "csv",
+            ".bin": "binary",
+            ".raw": "binary",
+        }.get(suffix, "text")
+    if fmt == "columnar":
+        columnar = ColumnarTrace(source)
+        return columnar.chunks(chunk_size), columnar.info
+    if fmt == "npz":
+        trace = load_npz(source)
+        return iter_chunks(trace, chunk_size), trace.info
+    if fmt == "csv":
+        return (
+            stream_csv(
+                source,
+                block_column=block_column,
+                client_column=client_column,
+                delimiter=delimiter,
+                skip_header=skip_header,
+                chunk_size=chunk_size,
+            ),
+            TraceInfo(name=source.stem),
+        )
+    if fmt == "binary":
+        return (
+            stream_binary(source, dtype=dtype, chunk_size=chunk_size),
+            TraceInfo(name=source.stem),
+        )
+    if fmt == "text":
+        return (
+            stream_text(source, chunk_size=chunk_size),
+            text_trace_info(source),
+        )
+    raise ConfigurationError(
+        f"unknown trace format {fmt!r}; available: auto, columnar, npz, "
+        "csv, binary, text"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Streaming dense-id interning
+# ---------------------------------------------------------------------------
+
+
+class DenseInterner:
+    """On-the-fly dense block-id assignment for streaming pipelines.
+
+    Maps arbitrary (possibly > 2^31) block ids to contiguous ids
+    ``0..n_unique-1`` one chunk at a time; the only persistent state is
+    one dict entry per *distinct* block, never per reference. Ids are
+    assigned deterministically in first-appearance order, with ties
+    inside a chunk broken by ascending block id (``np.unique`` order) —
+    a different contract from :class:`~repro.workloads.base.
+    TracePreprocess`, whose dense ids are sorted over the whole trace.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        """Distinct blocks interned so far."""
+        return len(self._table)
+
+    def intern(self, blocks: np.ndarray) -> np.ndarray:
+        """Dense ids of ``blocks``, assigning fresh ids to new blocks.
+
+        The Python-level work is bounded by the chunk's *distinct*
+        block count (one dict probe per unique value); the per-reference
+        mapping is a vectorised gather.
+        """
+        arr = np.asarray(blocks, dtype=np.int64)
+        if len(arr) == 0:
+            return np.zeros(0, dtype=np.int64)
+        unique, inverse = np.unique(arr, return_inverse=True)
+        table = self._table
+        lut = np.empty(len(unique), dtype=np.int64)
+        for index, block in enumerate(unique.tolist()):
+            dense = table.get(block)
+            if dense is None:
+                dense = len(table)
+                table[block] = dense
+            lut[index] = dense
+        return lut[inverse]

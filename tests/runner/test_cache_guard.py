@@ -39,6 +39,14 @@ def as_derived(result):
     return replace(result, extras=extras)
 
 
+def as_approx(result, rate=0.01):
+    """Stamp a result the way derive_sweep_results_approx does."""
+    extras = dict(result.extras)
+    extras["mrc_approx"] = 1.0
+    extras["mrc_sample_rate"] = rate
+    return replace(result, extras=extras)
+
+
 class TestAcceptPredicate:
     def test_accept_veto_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -60,6 +68,18 @@ class TestAcceptPredicate:
         assert blocked(plain)
         assert not blocked(derived)
 
+    def test_approx_entries_never_served(self):
+        # Approximate (sampled) results are estimates: unlike derived
+        # entries, which are exact for still-eligible specs, an
+        # mrc_approx entry is refused for *every* spec.
+        plain = execute_spec(make_spec("unilru"))
+        approx = as_approx(plain)
+        for scheme in ("unilru", "ulc"):
+            accept = _cache_accept(make_spec(scheme))
+            assert not accept(approx)
+        # Even a derived-and-approx stamp combination is refused.
+        assert not _cache_accept(make_spec("unilru"))(as_derived(approx))
+
 
 class TestRunSpecsGuard:
     def test_eligible_spec_serves_derived_entry(self, tmp_path):
@@ -80,6 +100,16 @@ class TestRunSpecsGuard:
         assert stored is not None
         assert not stored.extras.get("mrc_derived")
 
+    def test_approx_entry_resimulated_even_when_eligible(self, tmp_path):
+        run = make_spec("unilru")  # MRC-derivable, but the entry is
+        cache = ResultCache(tmp_path)  # approximate: never serve it.
+        cache.put(run, as_approx(execute_spec(run)))
+        (fresh,) = run_specs([run], cache_dir=tmp_path)
+        assert not fresh.extras.get("mrc_approx")
+        stored = cache.get(run)
+        assert stored is not None
+        assert not stored.extras.get("mrc_approx")
+
 
 class TestTimingExtrasAudit:
     def test_stamped_extras_are_exactly_the_timing_set(self):
@@ -87,9 +117,11 @@ class TestTimingExtrasAudit:
         stamped = set(result.extras) & TIMING_EXTRAS
         assert stamped == {"wall_time_s", "refs_per_s"}
         assert "mrc_derived" in TIMING_EXTRAS
+        assert "mrc_approx" in TIMING_EXTRAS
+        assert "mrc_sample_rate" in TIMING_EXTRAS
 
     def test_comparable_strips_every_timing_extra(self):
-        result = as_derived(execute_spec(make_spec()))
+        result = as_approx(as_derived(execute_spec(make_spec())))
         comparable = result.comparable()
         assert not set(comparable["extras"]) & TIMING_EXTRAS
 

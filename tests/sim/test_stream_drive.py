@@ -1,0 +1,107 @@
+"""``Engine.drive_stream``: chunk-wise drive, bit-identical results.
+
+The streaming drive consumes a :class:`StreamingTrace` (or a plain
+trace) one chunk at a time — warm-up is clamped per chunk, the batched
+fast path restarts per chunk — and promises counters *bit-identical*
+to materialising the source and calling :meth:`Engine.drive`. These
+tests pin that promise across chunk sizes that straddle the warm-up
+boundary, scalar and batched dispatch, multi-client traces, and an
+actual on-disk columnar source (proving the engine path works off the
+mmap reader, not just in-memory slices).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hierarchy import ULCMultiScheme, ULCScheme, UnifiedLRUScheme
+from repro.sim import Engine, paper_three_level, paper_two_level
+from repro.workloads import Trace, zipf_trace
+from repro.workloads.io import save_columnar
+from tests.core.golden_core import result_hash
+
+CHUNK_SIZES = [1, 97, 400, 1_000, 10_000]
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_stream_scalar_matches_drive(chunk_size):
+    trace = zipf_trace(512, 4_000, seed=5)
+    costs = paper_three_level()
+    plain = Engine(ULCScheme([64, 128, 256]), costs).drive(trace)
+    streamed = Engine(ULCScheme([64, 128, 256]), costs).drive_stream(
+        trace, chunk_size=chunk_size
+    )
+    assert result_hash(streamed) == result_hash(plain)
+    assert streamed.comparable() == plain.comparable()
+
+
+@pytest.mark.parametrize("chunk_size", [64, 1_000, 10_000])
+@pytest.mark.parametrize("batch_size", [1, 13, 512])
+def test_stream_batched_matches_drive_batched(chunk_size, batch_size):
+    trace = zipf_trace(256, 3_000, seed=7)
+    costs = paper_three_level()
+    plain = Engine(UnifiedLRUScheme([64, 128, 256]), costs).drive(
+        trace, batch_size=batch_size
+    )
+    streamed = Engine(
+        UnifiedLRUScheme([64, 128, 256]), costs
+    ).drive_stream(trace, batch_size=batch_size, chunk_size=chunk_size)
+    assert result_hash(streamed) == result_hash(plain)
+
+
+@pytest.mark.parametrize("chunk_size", [100, 2_000])
+def test_stream_multi_client_matches_drive(chunk_size):
+    blocks = zipf_trace(256, 3_000, seed=9).blocks
+    trace = Trace(blocks, clients=[i % 3 for i in range(len(blocks))])
+    costs = paper_two_level()
+    plain = Engine(
+        ULCMultiScheme([32, 128], 3), costs
+    ).drive(trace)
+    streamed = Engine(
+        ULCMultiScheme([32, 128], 3), costs
+    ).drive_stream(trace, chunk_size=chunk_size)
+    assert result_hash(streamed) == result_hash(plain)
+
+
+def test_stream_from_columnar_source_matches_drive(tmp_path):
+    trace = zipf_trace(512, 5_000, seed=3)
+    columnar = save_columnar(trace, tmp_path / "t.ctr")
+    costs = paper_three_level()
+    plain = Engine(ULCScheme([64, 128, 256]), costs).drive(trace)
+    streamed = Engine(ULCScheme([64, 128, 256]), costs).drive_stream(
+        columnar, chunk_size=512
+    )
+    assert result_hash(streamed) == result_hash(plain)
+
+
+def test_stream_warmup_straddles_chunks():
+    # warmup_count = 400 with chunk_size 300: the boundary falls inside
+    # the second chunk, exercising the per-chunk clamp.
+    trace = zipf_trace(128, 4_000, seed=2)
+    costs = paper_three_level()
+    engine = Engine(
+        ULCScheme([32, 64, 128]), costs, warmup_fraction=0.1
+    )
+    plain = Engine(
+        ULCScheme([32, 64, 128]), costs, warmup_fraction=0.1
+    ).drive(trace)
+    assert result_hash(
+        engine.drive_stream(trace, chunk_size=300)
+    ) == result_hash(plain)
+
+
+def test_collect_stream_matches_collect():
+    trace = zipf_trace(128, 2_000, seed=4)
+    scheme_a = ULCScheme([32, 64, 128])
+    scheme_b = ULCScheme([32, 64, 128])
+    collected = Engine(scheme_a).collect(trace)
+    streamed = Engine(scheme_b).collect_stream(trace, chunk_size=257)
+    assert streamed.summary() == collected.summary()
+
+
+def test_drive_stream_without_costs_rejected():
+    with pytest.raises(ConfigurationError):
+        Engine(ULCScheme([8, 8, 8])).drive_stream(
+            zipf_trace(16, 100, seed=1)
+        )

@@ -1,0 +1,146 @@
+"""The ``trace`` command and the approximate-MRC CLI surface.
+
+``repro trace convert`` must stream external dumps into ``.ctr``
+directories byte-correctly through the CLI (not just the library), and
+``repro mrc`` must validate ``--capacities`` (exit code 2 on
+non-positive or duplicate values), accept ``--shards``/``--aet`` with
+and without explicit rates, and run ``--approx-only`` off a columnar
+source without an exact pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads import zipf_trace
+from repro.workloads.io import ColumnarTrace, save_columnar
+
+
+@pytest.fixture
+def csv_trace(tmp_path):
+    rng = np.random.default_rng(5)
+    blocks = rng.integers(0, 2**33, size=1_500)
+    clients = rng.integers(0, 3, size=1_500)
+    path = tmp_path / "acc.csv"
+    lines = ["client,block"]
+    lines += [f"{c},{b}" for c, b in zip(clients, blocks)]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path, blocks, clients
+
+
+class TestParser:
+    def test_trace_verb_parses(self):
+        args = build_parser().parse_args(
+            ["trace", "convert", "--trace", "in.csv", "--out", "out.ctr"]
+        )
+        assert args.experiment == "trace"
+        assert args.target == "convert"
+        assert args.out == "out.ctr"
+
+    def test_mrc_approx_flags(self):
+        args = build_parser().parse_args(
+            ["mrc", "--shards", "--aet", "0.05", "--approx-only"]
+        )
+        assert args.shards == 0.01  # bare flag: default rate
+        assert args.aet == 0.05
+        assert args.approx_only
+        assert args.smax is None
+
+    def test_mrc_defaults_off(self):
+        args = build_parser().parse_args(["mrc"])
+        assert args.shards is None and args.aet is None
+        assert not args.approx_only
+
+
+class TestTraceCommand:
+    def test_convert_round_trips_through_cli(self, tmp_path, csv_trace):
+        csv, blocks, clients = csv_trace
+        out = tmp_path / "acc.ctr"
+        code = main([
+            "trace", "convert", "--trace", str(csv), "--out", str(out),
+            "--block-column", "1", "--client-column", "0",
+            "--skip-header",
+        ])
+        assert code == 0
+        columnar = ColumnarTrace(out)
+        loaded = columnar.materialize()
+        np.testing.assert_array_equal(np.asarray(loaded.blocks), blocks)
+        np.testing.assert_array_equal(np.asarray(loaded.clients), clients)
+
+    def test_convert_with_interning(self, tmp_path, csv_trace):
+        csv, blocks, _ = csv_trace
+        out = tmp_path / "dense.ctr"
+        code = main([
+            "trace", "convert", "--trace", str(csv), "--out", str(out),
+            "--block-column", "1", "--skip-header", "--intern",
+        ])
+        assert code == 0
+        columnar = ColumnarTrace(out)
+        assert columnar.num_unique == len(np.unique(blocks))
+        dense = np.asarray(columnar.materialize().blocks)
+        assert dense.max() == columnar.num_unique - 1
+
+    def test_info_prints_manifest(self, tmp_path, capsys):
+        trace = zipf_trace(64, 2_000, seed=1)
+        save_columnar(trace, tmp_path / "z.ctr")
+        code = main(["trace", "info", "--trace", str(tmp_path / "z.ctr")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2000" in out and "columnar trace" in out
+
+    def test_convert_without_out_is_exit_2(self, tmp_path, capsys):
+        assert main(["trace", "convert", "--trace", "x.csv"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_unknown_verb_is_exit_2(self, capsys):
+        assert main(["trace", "frobnicate", "--trace", "x.csv"]) == 2
+
+
+class TestMrcCommand:
+    def test_capacities_duplicate_is_exit_2(self, capsys):
+        code = main([
+            "mrc", "--workload", "zipf", "--refs", "2000",
+            "--capacities", "64", "64",
+        ])
+        assert code == 2
+        assert "unique" in capsys.readouterr().err
+
+    def test_capacities_nonpositive_is_exit_2(self, capsys):
+        code = main([
+            "mrc", "--workload", "zipf", "--refs", "2000",
+            "--capacities", "64", "0",
+        ])
+        assert code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_shards_and_aet_columns(self, capsys):
+        code = main([
+            "mrc", "--workload", "zipf", "--refs", "4000",
+            "--capacities", "16", "64", "256", "--shards", "1.0",
+            "--aet", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards hit rate (R=1)" in out
+        assert "aet hit rate (R=0.5)" in out
+        assert "miss ratio" in out  # exact pass still present
+
+    def test_approx_only_from_columnar(self, tmp_path, capsys):
+        trace = zipf_trace(256, 5_000, seed=2)
+        save_columnar(trace, tmp_path / "s.ctr")
+        code = main([
+            "mrc", "--trace", str(tmp_path / "s.ctr"), "--approx-only",
+            "--shards", "1.0", "--capacities", "32", "128",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "est." in out
+        assert "miss ratio" not in out  # no exact columns
+
+    def test_approx_only_without_method_is_exit_2(self, capsys):
+        assert main(["mrc", "--approx-only"]) == 2
+
+    def test_che_with_approx_only_is_exit_2(self, capsys):
+        assert main(["mrc", "--approx-only", "--shards", "--che"]) == 2
