@@ -191,6 +191,26 @@ def _drive_stream_scan(path: str) -> None:
         total += int(chunk.blocks.sum())
 
 
+#: References processed by the tournament smoke scenario: 4 cells at
+#: the tiny scale's 2000-reference zipf trace.
+TOURNAMENT_SMOKE_REFS = 4 * 2000
+
+
+def _drive_tournament() -> None:
+    """One small tournament grid (2x2 client/server policies over the
+    tiny zipf workload) through the RunSpec executor — the end-to-end
+    composed-hierarchy path the ``repro tournament --smoke`` CI job
+    exercises, minus the rendering."""
+    from repro.experiments import run_tournament
+
+    run_tournament(
+        "tiny",
+        client_policies=("lru", "s3fifo"),
+        server_policies=("mq", "wtinylfu"),
+        workloads=("zipf",),
+    )
+
+
 def _drive_kernel_check() -> None:
     """One kernel (slot-typestate) pass over the installed package, so
     the smoke gate also guards the static-analysis latency developers
@@ -297,6 +317,9 @@ def _scenarios(
     # package) regardless of suite scale; a nominal fixed refs count
     # keeps its refs/s comparable between --smoke runs and the
     # full-length committed baseline.
+    scenarios.append(
+        ("tournament_smoke", _drive_tournament, TOURNAMENT_SMOKE_REFS)
+    )
     scenarios.append(("check_kernel_pass", _drive_kernel_check, FULL_REFS))
     return scenarios
 

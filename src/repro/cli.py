@@ -27,6 +27,11 @@ Usage::
     python -m repro bench [--smoke] [--threshold 0.30] \\
         [--output BENCH_core_ops.json] [--baseline previous.json]
 
+    # cross-hierarchy policy tournament (client x server x workload)
+    python -m repro tournament --smoke --csv leaderboard.csv
+    python -m repro tournament --scale bench --jobs 0 --top 20 \\
+        --client-policies lru arc s3fifo --server-policies mq wtinylfu
+
     # exact single-pass LRU miss-ratio curve of a trace (optionally with
     # the Che/Fagin closed-form estimate and/or sampled approximations)
     python -m repro mrc --workload zipf --refs 200000 --che
@@ -74,7 +79,8 @@ from repro.experiments import (
 
 EXPERIMENTS = ("figure2", "figure3", "table1", "figure6", "figure7",
                "ablations", "all", "workloads", "simulate", "classify",
-               "experiment", "check", "bench", "mrc", "trace")
+               "experiment", "check", "bench", "mrc", "trace",
+               "tournament")
 
 #: Experiments the generic ``experiment`` command can target.
 EXPERIMENT_TARGETS = ("figure2", "figure3", "table1", "figure6", "figure7",
@@ -304,6 +310,22 @@ def _validate_capacities(capacities: List[int]) -> List[int]:
     return capacities
 
 
+def _validate_rate(flag: str, rate: Optional[float]) -> Optional[float]:
+    """Reject sampling rates outside (0, 1] with a
+    :class:`ConfigurationError` naming the offending flag (CLI exit
+    code 2) instead of letting the profilers raise from deep inside
+    their threshold arithmetic."""
+    from repro.errors import ConfigurationError
+
+    if rate is None:
+        return None
+    if not 0.0 < rate <= 1.0:
+        raise ConfigurationError(
+            f"{flag} rate must be in (0, 1], got {rate:g}"
+        )
+    return rate
+
+
 def _default_mrc_capacities(num_unique: int) -> List[int]:
     """Geometric capacity points up to the trace's distinct-block count
     (past which the curve is flat: only compulsory misses remain)."""
@@ -338,7 +360,9 @@ def _run_mrc(args: argparse.Namespace) -> str:
     capacities = (
         _validate_capacities(args.capacities) if args.capacities else None
     )
-    want_approx = args.shards is not None or args.aet is not None
+    shards_rate = _validate_rate("--shards", args.shards)
+    aet_rate = _validate_rate("--aet", args.aet)
+    want_approx = shards_rate is not None or aet_rate is not None
     if args.approx_only and not want_approx:
         raise ConfigurationError(
             "--approx-only needs at least one of --shards / --aet"
@@ -375,25 +399,32 @@ def _run_mrc(args: argparse.Namespace) -> str:
         exact = mrc_for_trace(trace, args.warmup, capacities=capacities)
         headers += ["hit rate", "miss ratio"]
     shards_curve = None
-    if args.shards is not None:
+    if shards_rate is not None:
         shards_curve = shards_mrc(
-            source, capacities, rate=args.shards,
+            source, capacities, rate=shards_rate,
             warmup_fraction=args.warmup, s_max=args.smax,
         )
         capacities = list(shards_curve.capacities)
-        headers.append(f"shards hit rate (R={args.shards:g})")
+        headers.append(f"shards hit rate (R={shards_rate:g})")
     aet_curve = None
-    if args.aet is not None:
+    if aet_rate is not None:
         aet_curve = aet_mrc(
-            source, capacities, rate=args.aet,
+            source, capacities, rate=aet_rate,
             warmup_fraction=args.warmup,
         )
         capacities = list(aet_curve.capacities)
-        headers.append(f"aet hit rate (R={args.aet:g})")
+        headers.append(f"aet hit rate (R={aet_rate:g})")
     if args.che:
         headers.append("che hit rate")
 
-    reference = exact or shards_curve or aet_curve
+    # Explicit selection: a legitimate curve must never be skipped for
+    # being falsy (an empty-capacity curve is still the reference).
+    if exact is not None:
+        reference = exact
+    elif shards_curve is not None:
+        reference = shards_curve
+    else:
+        reference = aet_curve
     if reference is None or capacities is None:
         # Unreachable through the validated flag combinations above.
         raise ConfigurationError(
@@ -645,6 +676,41 @@ def _run_simulate(args: argparse.Namespace) -> str:
     return format_table(["metric", "value"], rows, title="simulation result")
 
 
+def _run_tournament(args: argparse.Namespace) -> str:
+    """The ``tournament`` command: every (client policy x server
+    policy x workload) cell of the two-level composed hierarchy,
+    ranked.
+
+    ``--smoke`` pins the tiny scale and a single workload so the full
+    policy grid still finishes within a CI smoke budget; ``--csv``
+    additionally writes the deterministic leaderboard file.
+    """
+    from repro.experiments import (
+        SMOKE_WORKLOADS,
+        TOURNAMENT_WORKLOADS,
+        run_tournament,
+    )
+
+    if args.smoke:
+        args.scale = "tiny"
+    workloads = args.workloads or list(
+        SMOKE_WORKLOADS if args.smoke else TOURNAMENT_WORKLOADS
+    )
+    result = run_tournament(
+        args.scale,
+        client_policies=args.client_policies,
+        server_policies=args.server_policies,
+        workloads=workloads,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        check_invariants=args.check_invariants,
+    )
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(result.to_csv())
+    return result.render(top=args.top)
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.approx import (
         DEFAULT_SAMPLE_RATE as APPROX_DEFAULT_RATE,
@@ -791,7 +857,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--smoke",
         action="store_true",
-        help="bench: reduced references/rounds for CI smoke runs",
+        help=(
+            "bench: reduced references/rounds for CI smoke runs; "
+            "tournament: tiny scale over a single workload"
+        ),
     )
     bench.add_argument(
         "--rounds",
@@ -862,6 +931,43 @@ def build_parser() -> argparse.ArgumentParser:
             "--shards or --aet; the only mode that never materialises "
             "a .ctr trace in memory)"
         ),
+    )
+    tournament = parser.add_argument_group("tournament options")
+    tournament.add_argument(
+        "--client-policies",
+        nargs="*",
+        default=None,
+        metavar="POLICY",
+        help=(
+            "tournament: policies to field at the client level "
+            "(default: every registered policy)"
+        ),
+    )
+    tournament.add_argument(
+        "--server-policies",
+        nargs="*",
+        default=None,
+        metavar="POLICY",
+        help=(
+            "tournament: policies to field at the server level "
+            "(default: every registered policy)"
+        ),
+    )
+    tournament.add_argument(
+        "--csv",
+        default=None,
+        metavar="FILE",
+        help=(
+            "tournament: also write the ranked leaderboard as a "
+            "deterministic CSV (byte-identical across repeat runs)"
+        ),
+    )
+    tournament.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tournament: show only the N best cells in the table",
     )
     trace_group = parser.add_argument_group("trace options")
     trace_group.add_argument(
@@ -1008,6 +1114,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report = _run_mrc(args)
         elif args.experiment == "classify":
             report = _run_classify(args)
+        elif args.experiment == "tournament":
+            report = _run_tournament(args)
         else:
             name = args.experiment
             if name == "experiment":

@@ -36,6 +36,13 @@ from repro.experiments.section2 import (
     Section2Result,
     run_section2,
 )
+from repro.experiments.tournament import (
+    SMOKE_WORKLOADS,
+    TOURNAMENT_WORKLOADS,
+    TournamentCell,
+    TournamentResult,
+    run_tournament,
+)
 
 __all__ = [
     "Scale",
@@ -52,6 +59,11 @@ __all__ = [
     "run_figure7",
     "Figure7Result",
     "FIGURE7_WORKLOADS",
+    "run_tournament",
+    "TournamentCell",
+    "TournamentResult",
+    "TOURNAMENT_WORKLOADS",
+    "SMOKE_WORKLOADS",
     "AblationResult",
     "run_all_ablations",
     "run_demotion_vs_eviction",

@@ -1,0 +1,276 @@
+"""Cross-hierarchy policy tournament.
+
+Every registered replacement policy can serve as the client or the
+server level of a two-level independent hierarchy (the ``indlru``
+composition with per-level ``policies``, which is also how the paper's
+client-LRU + server-MQ baseline is built). The tournament runs every
+(client policy x server policy x workload) cell as one
+:class:`repro.runner.RunSpec` through the shared executor — so cells
+fan out over worker processes and repeat runs come back from the result
+cache — and ranks the cells by average access time, tie-broken by total
+hit rate and then lexicographically, so the leaderboard is a total
+order that is identical across runs and machines.
+
+The CSV rendering deliberately contains only deterministic fields
+(no wall-clock extras): two runs of the same tournament emit
+byte-identical files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.scaling import Scale, resolve_scale
+from repro.policies.registry import available_policies
+from repro.runner import CostSpec, RunSpec, WorkloadSpec, run_specs
+from repro.sim import paper_two_level
+from repro.util.tables import format_table
+
+#: Paper-scale cache sizes in 8 KB blocks: 50 MB client, 200 MB server
+#: (the 1:4 client:server ratio of the paper's two-level experiments).
+CLIENT_BLOCKS_PAPER = 6400
+SERVER_BLOCKS_PAPER = 25600
+
+#: Baseline reference counts per workload (scaled by the preset's
+#: ``refs`` factor); the tournament grid is quadratic in the policy
+#: count, so these sit below the Figure-6 baselines.
+BASELINE_REFS = {
+    "random": 100_000,
+    "zipf": 100_000,
+    "httpd": 100_000,
+    "dev1": 50_000,
+    "tpcc1": 100_000,
+}
+
+#: Default workload slate: one Zipf-like, one web, one OLTP trace.
+TOURNAMENT_WORKLOADS = ("zipf", "httpd", "tpcc1")
+
+#: The ``--smoke`` slate: a single workload keeps the CI grid quick.
+SMOKE_WORKLOADS = ("zipf",)
+
+_CSV_HEADER = (
+    "rank,client,server,workload,t_ave_ms,total_hit_rate,"
+    "l1_hit_rate,l2_hit_rate,spec_hash"
+)
+
+
+@dataclass(frozen=True)
+class TournamentCell:
+    """One (client policy, server policy, workload) result."""
+
+    client: str
+    server: str
+    workload: str
+    t_ave_ms: float
+    total_hit_rate: float
+    client_hit_rate: float
+    server_hit_rate: float
+    spec_hash: str
+
+
+def _rank_key(cell: TournamentCell) -> Tuple:
+    """Total order: fastest first, higher hit rate breaks time ties,
+    names break exact metric ties (so the ranking is deterministic
+    even between structurally different cells that score alike)."""
+    return (
+        cell.t_ave_ms,
+        -cell.total_hit_rate,
+        cell.client,
+        cell.server,
+        cell.workload,
+    )
+
+
+@dataclass(frozen=True)
+class TournamentResult:
+    """All cells, pre-ranked best-first."""
+
+    cells: Tuple[TournamentCell, ...]
+    scale: str
+    capacities: Tuple[int, int]
+
+    def best(self) -> TournamentCell:
+        """The winning cell (rank 1)."""
+        if not self.cells:
+            raise ConfigurationError("empty tournament has no winner")
+        return self.cells[0]
+
+    def pair_means(self) -> List[Tuple[str, str, float, float]]:
+        """Per (client, server) pair: mean T_ave and mean total hit
+        rate across the workload slate, ranked like the cells."""
+        sums: Dict[Tuple[str, str], List[float]] = {}
+        for cell in self.cells:
+            entry = sums.setdefault((cell.client, cell.server), [0.0, 0.0, 0.0])
+            entry[0] += cell.t_ave_ms
+            entry[1] += cell.total_hit_rate
+            entry[2] += 1.0
+        rows = [
+            (client, server, time_sum / count, hits_sum / count)
+            for (client, server), (time_sum, hits_sum, count) in sums.items()
+        ]
+        rows.sort(key=lambda row: (row[2], -row[3], row[0], row[1]))
+        return rows
+
+    def render(self, top: Optional[int] = None) -> str:
+        """Leaderboard table (all cells, or the ``top`` best)."""
+        shown = self.cells if top is None else self.cells[:top]
+        rows: List[List[object]] = []
+        for rank, cell in enumerate(shown, start=1):
+            rows.append([
+                rank,
+                cell.client,
+                cell.server,
+                cell.workload,
+                f"{cell.t_ave_ms:.4f}",
+                f"{cell.total_hit_rate:.4f}",
+                f"{cell.client_hit_rate:.4f}",
+                f"{cell.server_hit_rate:.4f}",
+            ])
+        title = (
+            f"policy tournament @ scale={self.scale} "
+            f"(client={self.capacities[0]} / server={self.capacities[1]} "
+            f"blocks, {len(self.cells)} cells"
+            + (f", top {len(shown)}" if top is not None else "")
+            + ")"
+        )
+        table = format_table(
+            ["rank", "client", "server", "workload", "T_ave (ms)",
+             "hit rate", "L1 hit", "L2 hit"],
+            rows,
+            title=title,
+        )
+        workloads = {cell.workload for cell in self.cells}
+        if len(workloads) > 1:
+            pair_rows: List[List[object]] = []
+            for rank, (client, server, t_ave, hits) in enumerate(
+                self.pair_means(), start=1
+            ):
+                pair_rows.append(
+                    [rank, client, server, f"{t_ave:.4f}", f"{hits:.4f}"]
+                )
+            table += "\n\n" + format_table(
+                ["rank", "client", "server", "mean T_ave (ms)",
+                 "mean hit rate"],
+                pair_rows,
+                title=f"pair aggregate over {len(workloads)} workloads",
+            )
+        return table
+
+    def to_csv(self) -> str:
+        """Deterministic CSV of the full ranked leaderboard.
+
+        Only spec-determined fields appear (no wall-clock extras), so
+        re-running the same tournament reproduces the file byte for
+        byte.
+        """
+        lines = [_CSV_HEADER]
+        for rank, cell in enumerate(self.cells, start=1):
+            lines.append(
+                f"{rank},{cell.client},{cell.server},{cell.workload},"
+                f"{cell.t_ave_ms:.6f},{cell.total_hit_rate:.6f},"
+                f"{cell.client_hit_rate:.6f},{cell.server_hit_rate:.6f},"
+                f"{cell.spec_hash}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def _validate_names(
+    label: str, names: Sequence[str], known: Sequence[str]
+) -> List[str]:
+    known_set = set(known)
+    out: List[str] = []
+    for name in names:
+        if name not in known_set:
+            raise ConfigurationError(
+                f"unknown {label} {name!r}; available: {sorted(known_set)}"
+            )
+        if name not in out:
+            out.append(name)
+    if not out:
+        raise ConfigurationError(f"no {label}s selected")
+    return out
+
+
+def run_tournament(
+    scale: Union[str, Scale] = "bench",
+    client_policies: Optional[Sequence[str]] = None,
+    server_policies: Optional[Sequence[str]] = None,
+    workloads: Sequence[str] = TOURNAMENT_WORKLOADS,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    check_invariants: Optional[int] = None,
+) -> TournamentResult:
+    """Run the full (client x server x workload) grid and rank it.
+
+    ``client_policies`` / ``server_policies`` default to every
+    registered policy (which includes the MQ server slot of the paper's
+    client-LRU + server-MQ baseline). Each cell is an independent
+    :class:`repro.runner.RunSpec`, so the grid parallelizes over
+    ``jobs`` worker processes and skips cells already in ``cache_dir``.
+    """
+    scale = resolve_scale(scale)
+    policies = available_policies()
+    clients = _validate_names(
+        "client policy",
+        policies if client_policies is None else client_policies,
+        policies,
+    )
+    servers = _validate_names(
+        "server policy",
+        policies if server_policies is None else server_policies,
+        policies,
+    )
+    slate = _validate_names("workload", workloads, sorted(BASELINE_REFS))
+    capacities = (
+        scale.blocks(CLIENT_BLOCKS_PAPER),
+        scale.blocks(SERVER_BLOCKS_PAPER),
+    )
+    costs = CostSpec.from_model(paper_two_level())
+    labels: List[Tuple[str, str, str]] = []
+    specs: List[RunSpec] = []
+    for workload in slate:
+        workload_spec = WorkloadSpec(
+            "large",
+            workload,
+            {
+                "scale": scale.geometry,
+                "num_refs": scale.references(BASELINE_REFS[workload]),
+            },
+        )
+        for client in clients:
+            for server in servers:
+                labels.append((client, server, workload))
+                specs.append(
+                    RunSpec(
+                        scheme="indlru",
+                        capacities=capacities,
+                        workload=workload_spec,
+                        costs=costs,
+                        scheme_kwargs={"policies": [client, server]},
+                    )
+                )
+    results = run_specs(
+        specs, jobs, cache_dir, check_invariants=check_invariants
+    )
+    cells = [
+        TournamentCell(
+            client=client,
+            server=server,
+            workload=workload,
+            t_ave_ms=result.t_ave_ms,
+            total_hit_rate=result.total_hit_rate,
+            client_hit_rate=result.level_hit_rates[0],
+            server_hit_rate=result.level_hit_rates[1],
+            spec_hash=spec.spec_hash(),
+        )
+        for (client, server, workload), spec, result in zip(
+            labels, specs, results
+        )
+    ]
+    cells.sort(key=_rank_key)
+    return TournamentResult(
+        cells=tuple(cells), scale=scale.name, capacities=capacities
+    )

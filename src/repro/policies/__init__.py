@@ -15,12 +15,16 @@ from repro.policies.clock import CLOCKPolicy
 from repro.policies.fifo import FIFOPolicy
 from repro.policies.lfu import LFUPolicy
 from repro.policies.lirs import LIRSPolicy
+from repro.policies.lecar import LeCaRPolicy
 from repro.policies.lru import LRUPolicy, MRUPolicy
 from repro.policies.mq import MQPolicy
 from repro.policies.opt import NEVER, OPTPolicy, compute_next_use
 from repro.policies.lruk import LRUKPolicy
 from repro.policies.random_policy import RandomPolicy
+from repro.policies.s3fifo import S3FIFOPolicy
+from repro.policies.sieve import SIEVEPolicy
 from repro.policies.twoq import TwoQPolicy
+from repro.policies.wtinylfu import WTinyLFUPolicy
 from repro.policies.registry import (
     available_policies,
     make_policy,
@@ -43,6 +47,10 @@ __all__ = [
     "ARCPolicy",
     "TwoQPolicy",
     "LRUKPolicy",
+    "S3FIFOPolicy",
+    "SIEVEPolicy",
+    "WTinyLFUPolicy",
+    "LeCaRPolicy",
     "NEVER",
     "compute_next_use",
     "available_policies",

@@ -150,6 +150,31 @@ class ARCPolicy(ReplacementPolicy):
         for name in (_T1, _T2):
             yield from self._lists[name].values()
 
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        capacity = self.capacity
+        sizes = {name: len(lst) for name, lst in self._lists.items()}
+        if sizes[_T1] + sizes[_B1] > capacity:
+            raise ProtocolError(
+                f"arc: |T1|+|B1| = {sizes[_T1] + sizes[_B1]} exceeds c={capacity}"
+            )
+        if sum(sizes.values()) > 2 * capacity:
+            raise ProtocolError(
+                f"arc: directory holds {sum(sizes.values())} blocks, limit {2 * capacity}"
+            )
+        if not 0.0 <= self._p <= capacity:
+            raise ProtocolError(f"arc: adaptation target p={self._p} outside [0, c]")
+        if len(self._where) != sum(sizes.values()):
+            raise ProtocolError(
+                f"arc: index tracks {len(self._where)} blocks, "
+                f"lists hold {sum(sizes.values())}"
+            )
+        for block, (name, node) in self._where.items():
+            if node.value != block:
+                raise ProtocolError(
+                    f"arc: index entry {block!r} points at node {node.value!r} in {name}"
+                )
+
     # -- introspection ----------------------------------------------------------
 
     @property

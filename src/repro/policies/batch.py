@@ -1,0 +1,101 @@
+"""Shared vectorised ``access_batch`` driver for mark-on-hit policies.
+
+:class:`~repro.policies.lru.LRUPolicy` carries its own fused kernel
+because LRU hits *reorder* the stack; policies whose hit path is a pure
+per-block mark (SIEVE's visited bits, S3-FIFO's saturating counters)
+can all share one driver: a residency-bitmap gather splits the batch at
+the (batch-start) miss positions, each intervening stretch is
+re-verified against the live bitmap and bulk-marked through the
+policy's ``_touch_segment``, and everything the live check rejects goes
+through the exact scalar step — bit-identical to the default loop.
+
+The host policy must provide the LRU-style slab fields ``_slots`` /
+``_ensure_bits`` and a ``_touch_segment(arr)`` that reproduces ``n``
+in-order touches of an all-resident segment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.policies.base import BatchResult, Block, ReplacementPolicy
+from repro.policies.residency import as_block_array
+
+#: Below this stretch length scalar steps beat the numpy call overhead
+#: (same crossover as :data:`repro.policies.lru._DEDUPE_THRESHOLD`).
+_SHORT_STRETCH = 32
+
+
+def vectorised_access_batch(
+    policy: ReplacementPolicy, blocks: Sequence[Block]
+) -> BatchResult:
+    """Exact batched access over ``policy`` (see the module docstring)."""
+    arr = as_block_array(blocks)
+    if arr is None:
+        return ReplacementPolicy.access_batch(policy, blocks)
+    n = arr.shape[0]
+    if n == 0:
+        return BatchResult(
+            hits=np.zeros(0, dtype=bool), evicted=(), offsets=(0,)
+        )
+    bits_map = policy._ensure_bits()
+    if bits_map is None:
+        return ReplacementPolicy.access_batch(policy, blocks)
+    try:
+        bits_map.ensure(int(arr.max()))
+    except IndexError:
+        return ReplacementPolicy.access_batch(policy, blocks)
+
+    hits_out = np.zeros(n, dtype=bool)
+    counts = np.zeros(n, dtype=np.int64)
+    evicted: List[Block] = []
+    slots = policy._slots
+    blocks_list = arr.tolist()
+    # Positions that were misses at batch start: the only places the
+    # residency set can grow mid-batch (scalar inserts happen there), so
+    # they bound every all-hit stretch to verify.
+    checkpoints = np.flatnonzero(~bits_map.bits[arr])
+    num_checkpoints = checkpoints.shape[0]
+    pos = 0
+    cursor = 0
+    while pos < n:
+        while cursor < num_checkpoints and checkpoints[cursor] < pos:
+            cursor += 1
+        stop = int(checkpoints[cursor]) if cursor < num_checkpoints else n
+        if stop - pos > _SHORT_STRETCH:
+            # Re-verify against the live bitmap: blocks evicted by an
+            # earlier scalar step are stale hits.
+            stale = np.flatnonzero(~bits_map.bits[arr[pos:stop]])
+            run_end = stop if stale.shape[0] == 0 else pos + int(stale[0])
+            if run_end > pos:
+                policy._touch_segment(arr[pos:run_end])
+                hits_out[pos:run_end] = True
+                pos = run_end
+            if pos < stop:
+                # Evicted mid-batch: a true miss now.
+                ev = policy.insert(blocks_list[pos])
+                if ev:
+                    evicted.extend(ev)
+                    counts[pos] = len(ev)
+                pos += 1
+            continue
+        # Short stretch, then the checkpoint itself: exact scalar steps
+        # with dict membership as the live residency truth.
+        for p in range(pos, min(stop + 1, n)):
+            block = blocks_list[p]
+            if block in slots:
+                policy.touch(block)
+                hits_out[p] = True
+            else:
+                ev = policy.insert(block)
+                if ev:
+                    evicted.extend(ev)
+                    counts[p] = len(ev)
+        pos = min(stop + 1, n)
+
+    offsets = np.empty(n + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(counts, out=offsets[1:])
+    return BatchResult(hits=hits_out, evicted=tuple(evicted), offsets=offsets)

@@ -1,0 +1,290 @@
+"""LeCaR replacement — Vietri et al., HotStorage 2018 (CACHEUS lineage).
+
+LeCaR (Learning Cache Replacement) keeps exactly two experts — pure
+recency (LRU) and pure frequency (LFU) — and learns *online* which one
+to trust via regret minimisation. Every eviction draws the deciding
+expert from a weight vector; every miss on a recently evicted block is
+regret, and the expert responsible is penalised multiplicatively with
+an exponentially decayed learning signal:
+
+    w_expert *= exp(-learning_rate * discount ** age)
+
+where ``age`` is the number of references since that block's eviction
+and ``discount = 0.005 ** (1 / capacity)`` (both from the paper).
+
+The resident set is one slab list in recency order; frequencies are a
+flat slot-indexed array. The LFU expert's victim is the least recently
+used block among those of minimal frequency (deterministic tie-break).
+Randomness comes from a seeded generator only, and the next expert
+draw is pre-computed and cached so :meth:`victim` is a stable pure
+peek of the eviction that would happen.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.policies.base import Block, ReplacementPolicy
+from repro.util.intlist import SENTINEL, IntLinkedList
+from repro.util.rng import make_stdlib_rng
+
+_LRU = 0
+_LFU = 1
+
+
+class LeCaRPolicy(ReplacementPolicy):
+    """LeCaR: regret-minimising adaptive mix of LRU and LFU.
+
+    Args:
+        capacity: total resident blocks.
+        learning_rate: multiplicative-update step (default 0.45).
+        discount_base: per-capacity decay base; the effective discount
+            is ``discount_base ** (1 / capacity)`` (default 0.005).
+        seed: seed for the expert-selection draws.
+        history_factor: per-expert ghost-list bound as a multiple of
+            capacity (default 1.0).
+    """
+
+    name = "lecar"
+
+    def __init__(
+        self,
+        capacity: int,
+        learning_rate: float = 0.45,
+        discount_base: float = 0.005,
+        seed: int = 0,
+        history_factor: float = 1.0,
+    ) -> None:
+        super().__init__(capacity)
+        if learning_rate <= 0:
+            raise ProtocolError(
+                f"learning_rate must be positive, got {learning_rate}"
+            )
+        if not 0 < discount_base < 1:
+            raise ProtocolError(
+                f"discount_base must be in (0, 1), got {discount_base}"
+            )
+        self.learning_rate = learning_rate
+        self.discount = discount_base ** (1.0 / capacity)
+        self.history_capacity = max(1, int(capacity * history_factor))
+        self._recency = IntLinkedList()
+        self._slots: Dict[Block, int] = {}
+        self._block_at: List[Optional[Block]] = [None]
+        self._freq: List[int] = [0]
+        self._weights = [0.5, 0.5]
+        # Per-expert ghost lists: block -> (eviction time, frequency).
+        self._history: Tuple[
+            "OrderedDict[Block, Tuple[int, int]]", ...
+        ] = (OrderedDict(), OrderedDict())
+        self._clock = 0
+        self._rng = make_stdlib_rng(seed)
+        #: Cached uniform draw for the *next* eviction decision, so
+        #: victim() peeks the same choice the eviction will make.
+        self._pending_draw: Optional[float] = None
+
+    def __contains__(self, block: Block) -> bool:
+        return block in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    # -- slab bookkeeping --------------------------------------------------
+
+    def _alloc(self, block: Block) -> int:
+        slot = self._recency.slab.alloc()
+        if slot == len(self._block_at):
+            self._block_at.append(block)
+            self._freq.append(0)
+        else:
+            self._block_at[slot] = block
+            self._freq[slot] = 0
+        self._slots[block] = slot
+        return slot
+
+    def _release(self, slot: int) -> Block:
+        block = self._block_at[slot]
+        self._block_at[slot] = None
+        self._freq[slot] = 0
+        self._recency.slab.free(slot)
+        del self._slots[block]
+        return block
+
+    # -- the experts -------------------------------------------------------
+
+    def _lru_victim_slot(self) -> int:
+        tail = self._recency.tail
+        if tail is None:  # pragma: no cover - defensive
+            raise ProtocolError("lecar: eviction with empty cache")
+        return tail
+
+    def _lfu_victim_slot(self) -> int:
+        """Least recently used among the minimal-frequency blocks."""
+        freq = self._freq
+        prv = self._recency.prev
+        # One reverse walk over the recency chain (kernel arrays) finds
+        # the minimum; a second stops at its last holder.
+        min_freq = -1
+        slot = prv[SENTINEL]
+        while slot != SENTINEL:
+            value = freq[slot]
+            if min_freq < 0 or value < min_freq:
+                min_freq = value
+            slot = prv[slot]
+        slot = prv[SENTINEL]
+        while slot != SENTINEL:
+            if freq[slot] == min_freq:
+                return slot
+            slot = prv[slot]
+        raise ProtocolError(  # pragma: no cover - defensive
+            "lecar: no slot carries the minimal frequency"
+        )
+
+    def _draw(self) -> float:
+        if self._pending_draw is None:
+            self._pending_draw = self._rng.random()
+        return self._pending_draw
+
+    def _choose_expert(self) -> int:
+        return _LRU if self._draw() < self._weights[_LRU] else _LFU
+
+    def _remember(self, expert: int, block: Block, freq: int) -> None:
+        history = self._history[expert]
+        history[block] = (self._clock, freq)
+        while len(history) > self.history_capacity:
+            history.popitem(last=False)
+
+    def _learn_from(self, block: Block) -> int:
+        """Penalise the expert whose past eviction of ``block`` now
+        costs a miss; drop the block from the histories. Returns the
+        remembered frequency (0 if the block was not a ghost)."""
+        remembered = 0
+        for expert in (_LRU, _LFU):
+            entry = self._history[expert].pop(block, None)
+            if entry is None:
+                continue
+            remembered = max(remembered, entry[1])
+            age = self._clock - entry[0]
+            penalty = math.exp(
+                -self.learning_rate * self.discount ** age
+            )
+            self._weights[expert] *= penalty
+            total = self._weights[_LRU] + self._weights[_LFU]
+            self._weights[_LRU] /= total
+            self._weights[_LFU] /= total
+        return remembered
+
+    def _evict_one(self) -> Block:
+        expert = self._choose_expert()
+        self._pending_draw = None
+        slot = (
+            self._lru_victim_slot()
+            if expert == _LRU
+            else self._lfu_victim_slot()
+        )
+        freq = self._freq[slot]
+        self._recency.remove(slot)
+        block = self._release(slot)
+        self._remember(expert, block, freq)
+        return block
+
+    # -- ReplacementPolicy interface ---------------------------------------
+
+    def touch(self, block: Block) -> None:
+        slot = self._slots.get(block)
+        if slot is None:
+            self._require_resident(block)
+            return  # pragma: no cover - _require_resident raised
+        self._clock += 1
+        self._freq[slot] += 1
+        self._recency.move_to_front(slot)
+
+    def insert(self, block: Block) -> List[Block]:
+        self._require_absent(block)
+        self._clock += 1
+        # A block returning from a ghost list penalises the expert that
+        # evicted it and resumes its remembered frequency.
+        restored = self._learn_from(block)
+        evicted: List[Block] = []
+        if len(self._slots) >= self.capacity:
+            evicted.append(self._evict_one())
+        slot = self._alloc(block)
+        self._freq[slot] = restored + 1
+        self._recency.push_front(slot)
+        return evicted
+
+    def remove(self, block: Block) -> None:
+        self._require_resident(block)
+        slot = self._slots[block]
+        self._recency.remove(slot)
+        self._release(slot)
+
+    def victim(self) -> Optional[Block]:
+        """Stable pure peek: the cached draw used here is the one the
+        next eviction will consume."""
+        if not self.full or not self._slots:
+            return None
+        expert = self._choose_expert()
+        slot = (
+            self._lru_victim_slot()
+            if expert == _LRU
+            else self._lfu_victim_slot()
+        )
+        return self._block_at[slot]
+
+    def resident(self) -> Iterator[Block]:
+        """Iterate blocks from most to least recently used."""
+        block_at = self._block_at
+        for slot in self._recency:
+            block = block_at[slot]
+            if block is not None:
+                yield block
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        self._recency.check_invariants()
+        if self._recency.size != len(self._slots):
+            raise ProtocolError(
+                f"lecar: recency size {self._recency.size} != "
+                f"{len(self._slots)} indexed blocks"
+            )
+        weight_sum = self._weights[_LRU] + self._weights[_LFU]
+        if not math.isclose(weight_sum, 1.0, rel_tol=1e-9):
+            raise ProtocolError(
+                f"lecar: expert weights sum to {weight_sum}, expected 1"
+            )
+        if min(self._weights) < 0:
+            raise ProtocolError(f"lecar: negative weight {self._weights}")
+        for expert in (_LRU, _LFU):
+            history = self._history[expert]
+            if len(history) > self.history_capacity:
+                raise ProtocolError(
+                    f"lecar: history {expert} holds {len(history)} "
+                    f"entries, bound {self.history_capacity}"
+                )
+            for block in history:
+                if block in self._slots:
+                    raise ProtocolError(
+                        f"lecar: block {block!r} both resident and in "
+                        f"history {expert}"
+                    )
+        for block, slot in self._slots.items():
+            if self._block_at[slot] != block:
+                raise ProtocolError(
+                    f"lecar: slot {slot} holds {self._block_at[slot]!r}, "
+                    f"index says {block!r}"
+                )
+            if self._freq[slot] < 1:
+                raise ProtocolError(
+                    f"lecar: resident block {block!r} has frequency "
+                    f"{self._freq[slot]} < 1"
+                )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def weights(self) -> Tuple[float, float]:
+        """Current (LRU, LFU) expert weights."""
+        return (self._weights[_LRU], self._weights[_LFU])

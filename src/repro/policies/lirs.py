@@ -171,13 +171,20 @@ class LIRSPolicy(ReplacementPolicy):
         return entry.block
 
     def _demote_lir_bottom(self) -> None:
-        """Turn the stack-bottom LIR block into a resident HIR block."""
+        """Turn the bottom-most LIR block of the stack into a resident HIR
+        block.
+
+        ``remove()`` can leave HIR entries below every LIR block (the
+        stack is only pruned lazily), so tolerate a non-LIR bottom by
+        pruning it away first.
+        """
+        self._prune_stack()
         bottom = self._stack.tail
         if bottom is None:
-            raise ProtocolError("LIRS demotion with empty stack")
+            raise ProtocolError("LIRS demotion with no LIR block in stack")
         entry = bottom.value
         if entry.state != _LIR:
-            raise ProtocolError("LIRS stack bottom is not LIR")
+            raise ProtocolError("LIRS stack bottom is not LIR after pruning")
         self._stack_remove(entry)
         entry.state = _HIR_RESIDENT
         self._lir_count -= 1
@@ -264,14 +271,67 @@ class LIRSPolicy(ReplacementPolicy):
         if tail is not None:
             return tail.value.block
         # Degenerate: all resident blocks are LIR (can happen transiently
-        # for capacity 1); fall back to the stack bottom.
-        bottom = self._stack.tail
-        return bottom.value.block if bottom is not None else None
+        # for capacity 1); the next eviction demotes the bottom-most LIR
+        # block, so peek that.  Pure walk: skip unpruned HIR entries.
+        for node in self._stack.iter_reverse():
+            if node.value.state == _LIR:
+                return node.value.block
+        return None
 
     def resident(self) -> Iterator[Block]:
         for block, entry in list(self._entries.items()):
             if entry.state != _HIR_NONRESIDENT:
                 yield block
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        lir = hir_resident = ghosts = 0
+        for block, entry in self._entries.items():
+            if entry.block != block:
+                raise ProtocolError(f"lirs: entry keyed {block!r} holds {entry.block!r}")
+            if entry.state == _LIR:
+                lir += 1
+                if entry.stack_node is None:
+                    raise ProtocolError(f"lirs: LIR block {block!r} not in stack")
+                if entry.queue_node is not None:
+                    raise ProtocolError(f"lirs: LIR block {block!r} in HIR queue")
+            elif entry.state == _HIR_RESIDENT:
+                hir_resident += 1
+                if entry.queue_node is None:
+                    raise ProtocolError(f"lirs: resident HIR block {block!r} not in queue")
+            elif entry.state == _HIR_NONRESIDENT:
+                ghosts += 1
+                if entry.stack_node is None:
+                    raise ProtocolError(f"lirs: ghost {block!r} not in stack")
+                if entry.queue_node is not None:
+                    raise ProtocolError(f"lirs: ghost {block!r} in HIR queue")
+            else:
+                raise ProtocolError(f"lirs: block {block!r} has state {entry.state!r}")
+        if lir != self._lir_count:
+            raise ProtocolError(
+                f"lirs: lir_count {self._lir_count} != {lir} LIR entries"
+            )
+        if ghosts != self._ghost_count:
+            raise ProtocolError(
+                f"lirs: ghost_count {self._ghost_count} != {ghosts} ghost entries"
+            )
+        if ghosts > self.ghost_limit:
+            raise ProtocolError(
+                f"lirs: {ghosts} ghosts exceed limit {self.ghost_limit}"
+            )
+        if hir_resident != len(self._queue):
+            raise ProtocolError(
+                f"lirs: queue length {len(self._queue)} != "
+                f"{hir_resident} resident HIR entries"
+            )
+        in_stack = sum(1 for _ in self._stack)
+        tracked = sum(
+            1 for e in self._entries.values() if e.stack_node is not None
+        )
+        if in_stack != tracked:
+            raise ProtocolError(
+                f"lirs: stack length {in_stack} != {tracked} tracked stack nodes"
+            )
 
     # -- introspection ---------------------------------------------------------
 

@@ -16,11 +16,15 @@ from repro.policies.clock import CLOCKPolicy
 from repro.policies.fifo import FIFOPolicy
 from repro.policies.lfu import LFUPolicy
 from repro.policies.lirs import LIRSPolicy
+from repro.policies.lecar import LeCaRPolicy
 from repro.policies.lru import LRUPolicy, MRUPolicy
 from repro.policies.mq import MQPolicy
 from repro.policies.lruk import LRUKPolicy
 from repro.policies.random_policy import RandomPolicy
+from repro.policies.s3fifo import S3FIFOPolicy
+from repro.policies.sieve import SIEVEPolicy
 from repro.policies.twoq import TwoQPolicy
+from repro.policies.wtinylfu import WTinyLFUPolicy
 
 PolicyFactory = Callable[..., ReplacementPolicy]
 
@@ -38,6 +42,10 @@ _REGISTRY: Dict[str, PolicyFactory] = {  # repro: noqa SIM001 -- mutated only vi
     ARCPolicy.name: ARCPolicy,
     TwoQPolicy.name: TwoQPolicy,
     LRUKPolicy.name: LRUKPolicy,
+    S3FIFOPolicy.name: S3FIFOPolicy,
+    SIEVEPolicy.name: SIEVEPolicy,
+    WTinyLFUPolicy.name: WTinyLFUPolicy,
+    LeCaRPolicy.name: LeCaRPolicy,
 }
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional
 
+from repro.errors import ProtocolError
 from repro.policies.base import Block, ReplacementPolicy
 from repro.util.linkedlist import DoublyLinkedList, ListNode
 from repro.util.validation import check_fraction
@@ -106,6 +107,25 @@ class TwoQPolicy(ReplacementPolicy):
     def resident(self) -> Iterator[Block]:
         yield from self._a1in.values()
         yield from self._am.values()
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        if len(self._a1out) > self.kout:
+            raise ProtocolError(
+                f"2q: {len(self._a1out)} ghosts exceed Kout={self.kout}"
+            )
+        if len(self._where) != len(self._a1in) + len(self._am):
+            raise ProtocolError(
+                f"2q: index tracks {len(self._where)} blocks, queues hold "
+                f"{len(self._a1in) + len(self._am)}"
+            )
+        for block, (name, node) in self._where.items():
+            if node.value != block:
+                raise ProtocolError(
+                    f"2q: index entry {block!r} points at node {node.value!r} in {name}"
+                )
+            if block in self._a1out:
+                raise ProtocolError(f"2q: block {block!r} both resident and ghost")
 
     def in_ghost(self, block: Block) -> bool:
         """Whether A1out remembers ``block`` (tests)."""

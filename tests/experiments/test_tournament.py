@@ -1,0 +1,98 @@
+"""Tournament subsystem: grid shape, deterministic ranking, caching,
+and the byte-identical CSV contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import run_tournament
+from repro.experiments.tournament import _CSV_HEADER
+
+CLIENTS = ("lru", "s3fifo")
+SERVERS = ("mq", "sieve")
+
+
+def small(**kwargs):
+    return run_tournament(
+        "tiny",
+        client_policies=CLIENTS,
+        server_policies=SERVERS,
+        workloads=("zipf",),
+        **kwargs,
+    )
+
+
+class TestTournament:
+    def test_grid_shape_and_ranking(self):
+        result = small()
+        assert len(result.cells) == len(CLIENTS) * len(SERVERS)
+        times = [cell.t_ave_ms for cell in result.cells]
+        assert times == sorted(times)  # ranked best-first
+        assert result.best() == result.cells[0]
+        pairs = {(cell.client, cell.server) for cell in result.cells}
+        assert pairs == {(c, s) for c in CLIENTS for s in SERVERS}
+        for cell in result.cells:
+            assert 0.0 <= cell.total_hit_rate <= 1.0
+            assert cell.t_ave_ms > 0.0
+            assert len(cell.spec_hash) == 64
+
+    def test_deterministic_across_runs(self):
+        first = small()
+        second = small()
+        assert first.cells == second.cells
+        assert first.to_csv() == second.to_csv()
+
+    def test_csv_shape(self):
+        csv = small().to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == _CSV_HEADER
+        assert len(lines) == 1 + len(CLIENTS) * len(SERVERS)
+        assert csv.endswith("\n")
+        for rank, line in enumerate(lines[1:], start=1):
+            fields = line.split(",")
+            assert int(fields[0]) == rank
+            assert len(fields) == len(_CSV_HEADER.split(","))
+
+    def test_cache_round_trip(self, tmp_path):
+        first = small(cache_dir=tmp_path)
+        cached = small(cache_dir=tmp_path)  # every cell from the cache
+        assert cached.cells == first.cells
+        assert cached.to_csv() == first.to_csv()
+
+    def test_pair_means_aggregate_workloads(self):
+        result = run_tournament(
+            "tiny",
+            client_policies=("lru",),
+            server_policies=SERVERS,
+            workloads=("zipf", "random"),
+        )
+        assert len(result.cells) == 4  # 1 client x 2 servers x 2 workloads
+        means = result.pair_means()
+        assert len(means) == 2  # collapsed over workloads
+        mean_times = [row[2] for row in means]
+        assert mean_times == sorted(mean_times)
+        rendered = result.render()
+        assert "pair aggregate" in rendered
+
+    def test_render_top_truncates(self):
+        result = small()
+        top = result.render(top=2)
+        assert "top 2" in top
+        assert top.count("\n") < result.render().count("\n")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_tournament("tiny", client_policies=["nope"])
+        with pytest.raises(ConfigurationError):
+            run_tournament("tiny", server_policies=["nope"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_tournament(
+                "tiny", client_policies=CLIENTS, workloads=("nope",)
+            )
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_tournament("tiny", client_policies=[])

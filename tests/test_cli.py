@@ -67,3 +67,65 @@ class TestMain:
         assert code == 0
         out = capsys.readouterr().out
         assert "multi/db2" in out
+
+
+class TestMrcRateValidation:
+    """--shards/--aet rates outside (0, 1] exit 2 with a message naming
+    the flag (instead of a deep profiler traceback)."""
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--shards", "0"),
+        ("--shards", "1.5"),
+        ("--shards", "-0.1"),
+        ("--aet", "0"),
+        ("--aet", "2"),
+    ])
+    def test_bad_rate_is_reported(self, capsys, flag, value):
+        code = main(
+            ["mrc", "--workload", "zipf", "--refs", "2000", flag, value]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert f"error: {flag} rate must be in (0, 1]" in err
+
+    def test_boundary_rate_accepted(self, capsys):
+        code = main(
+            ["mrc", "--workload", "zipf", "--refs", "2000",
+             "--capacities", "16", "64", "--shards", "1.0"]
+        )
+        assert code == 0
+        assert "shards hit rate" in capsys.readouterr().out
+
+
+class TestTournament:
+    def test_smoke_leaderboard_and_csv(self, tmp_path, capsys):
+        path = tmp_path / "leaderboard.csv"
+        argv = ["tournament", "--smoke",
+                "--client-policies", "lru", "s3fifo",
+                "--server-policies", "mq",
+                "--csv", str(path)]
+        code = main(argv)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy tournament @ scale=tiny" in out
+        assert "s3fifo" in out
+        first = path.read_text()
+        assert first.startswith("rank,client,server,workload,")
+        assert len(first.splitlines()) == 3  # header + 2 cells
+        # The CSV is byte-identical across repeat runs.
+        code = main(argv)
+        assert code == 0
+        assert path.read_text() == first
+
+    def test_top_limits_the_table(self, capsys):
+        code = main(["tournament", "--smoke", "--top", "1",
+                     "--client-policies", "lru", "sieve",
+                     "--server-policies", "lru"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top 1" in out
+
+    def test_unknown_policy_is_reported(self, capsys):
+        code = main(["tournament", "--smoke", "--client-policies", "nope"])
+        assert code == 2
+        assert "unknown client policy" in capsys.readouterr().err
