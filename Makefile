@@ -5,10 +5,10 @@
 
 PYTHON ?= python
 
-.PHONY: check check-shallow check-deep check-kernel lint test bench \
-	bench-batched mrc-approx baseline hash-schema
+.PHONY: check check-shallow check-deep check-kernel check-bounds lint \
+	test bench bench-batched mrc-approx baseline hash-schema
 
-check: lint check-shallow check-deep check-kernel
+check: lint check-shallow check-deep check-kernel check-bounds
 
 check-shallow:
 	$(PYTHON) -m repro check src/repro
@@ -18,6 +18,9 @@ check-deep:
 
 check-kernel:
 	$(PYTHON) -m repro check src/repro --kernel
+
+check-bounds:
+	$(PYTHON) -m repro check src/repro --bounds
 
 lint:
 	$(PYTHON) -m ruff check src tests
@@ -46,12 +49,12 @@ mrc-approx:
 	REPRO_BIG_TESTS=1 $(PYTHON) -m pytest -q \
 		tests/analysis/test_mrc_approx.py -k tentpole_gate
 
-# Maintenance: regenerate the deep/kernel-pass artefacts after
-# reviewing that the new findings / schema drift are intentional. The
-# baseline file is shared by --deep and --kernel; --update-baseline
-# rewrites it from both passes in one go.
+# Maintenance: regenerate the check-pass artefacts after reviewing
+# that the new findings / schema drift are intentional. The baseline
+# file is shared by every pass; --all --update-baseline rewrites it
+# from the shallow, deep, kernel and bounds passes in one go.
 baseline:
-	$(PYTHON) -m repro check src/repro --deep --update-baseline
+	$(PYTHON) -m repro check src/repro --all --update-baseline
 
 hash-schema:
 	$(PYTHON) -m repro check src/repro --deep --update-hash-schema

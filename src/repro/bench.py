@@ -223,6 +223,19 @@ def _drive_kernel_check() -> None:
     run_kernel_checks([Path(repro.__file__).resolve().parent])
 
 
+def _drive_bounds_check() -> None:
+    """One bounds (hot-path cost) pass over the installed package —
+    the abstract cost interpreter walks every function reachable from
+    the hot entry points, so its latency scales with the tree and is
+    worth gating alongside the kernel pass."""
+    from pathlib import Path
+
+    import repro
+    from repro.checks.bounds import run_bounds_checks
+
+    run_bounds_checks([Path(repro.__file__).resolve().parent])
+
+
 def _scenarios(
     num_refs: int, batch_size: int = BATCH_SIZE
 ) -> List[Tuple[str, Callable[[], None], int]]:
@@ -321,6 +334,7 @@ def _scenarios(
         ("tournament_smoke", _drive_tournament, TOURNAMENT_SMOKE_REFS)
     )
     scenarios.append(("check_kernel_pass", _drive_kernel_check, FULL_REFS))
+    scenarios.append(("check_bounds_pass", _drive_bounds_check, FULL_REFS))
     return scenarios
 
 

@@ -20,6 +20,7 @@ from repro.checks.engine import (
     Finding,
     all_rules,
     format_findings,
+    rules_by_pass,
     run_checks,
 )
 from repro.checks.invariants import (
@@ -38,6 +39,7 @@ __all__ = [
     "all_rules",
     "check_registries",
     "format_findings",
+    "rules_by_pass",
     "run_checks",
     "validate_scheme",
     "validate_structure",

@@ -3,10 +3,12 @@
 Runs every AST rule (:mod:`repro.checks.rules`) over the requested
 files plus the registry-conformance pass
 (:mod:`repro.checks.registry_checks`) — and, with ``deep=True``, the
-whole-program dataflow pass (:mod:`repro.checks.flow`), and with
-``kernel=True``, the slot-typestate pass (:mod:`repro.checks.kernel`)
-— filters findings through ``# repro: noqa RULE`` line suppressions,
-and renders the survivors as a human report, JSON, or SARIF.
+whole-program dataflow pass (:mod:`repro.checks.flow`), with
+``kernel=True``, the slot-typestate pass (:mod:`repro.checks.kernel`),
+and with ``bounds=True``, the cost-bound pass
+(:mod:`repro.checks.bounds`) — filters findings through
+``# repro: noqa RULE`` line suppressions, and renders the survivors as
+a human report, JSON, or SARIF (one merged log whatever the pass mix).
 
 Exit-code contract (the CLI returns these):
 
@@ -132,10 +134,11 @@ class CheckReport:
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
-    #: Findings subtracted by the committed deep/kernel-pass baseline.
+    #: Findings subtracted by the committed deep/kernel/bounds baseline.
     baseline_suppressed: int = 0
     deep: bool = False
     kernel: bool = False
+    bounds: bool = False
 
     @property
     def exit_code(self) -> int:
@@ -198,6 +201,7 @@ def run_checks(
     registry: bool = True,
     deep: bool = False,
     kernel: bool = False,
+    bounds: bool = False,
     baseline: Optional[Union[str, Path]] = None,
     manifest: Optional[Union[str, Path]] = None,
 ) -> CheckReport:
@@ -212,12 +216,14 @@ def run_checks(
             (:mod:`repro.checks.flow` — FLOW001..FLOW004).
         kernel: also run the slot-typestate pass
             (:mod:`repro.checks.kernel` — KER001..KER004).
-        baseline: deep/kernel-pass findings baseline file; ``None``
-            uses the committed default (shared by both passes).
+        bounds: also run the cost-bound pass
+            (:mod:`repro.checks.bounds` — BND001..BND004).
+        baseline: deep/kernel/bounds findings baseline file; ``None``
+            uses the committed default (shared by all three passes).
         manifest: hash-schema manifest FLOW003 compares against;
             ``None`` uses the committed default.
     """
-    report = CheckReport(deep=deep, kernel=kernel)
+    report = CheckReport(deep=deep, kernel=kernel, bounds=bounds)
     wanted = set(select)
     _validate_select(wanted)
     for path in iter_python_files(paths):
@@ -229,6 +235,22 @@ def run_checks(
         from repro.checks.registry_checks import check_registries
 
         report.findings.extend(check_registries())
+    # The shared baseline subtracts shallow findings too, so one
+    # ``--update-baseline`` covers every pass in one file.
+    from repro.checks.flow.baseline import (
+        DEFAULT_BASELINE,
+        apply_baseline,
+        load_baseline,
+    )
+
+    known_baseline = load_baseline(
+        baseline if baseline is not None else DEFAULT_BASELINE
+    )
+    if known_baseline:
+        report.findings, shallow_suppressed = apply_baseline(
+            report.findings, known_baseline
+        )
+        report.baseline_suppressed += shallow_suppressed
     if deep:
         from repro.checks.flow import FLOW_RULES, run_flow_checks
 
@@ -254,35 +276,65 @@ def run_checks(
             )
             report.findings.extend(kernel_report.findings)
             report.baseline_suppressed += kernel_report.baseline_suppressed
+    if bounds:
+        from repro.checks.bounds import BOUNDS_RULES, run_bounds_checks
+
+        bounds_select = sorted(wanted & set(BOUNDS_RULES)) if wanted else None
+        if bounds_select is None or bounds_select:
+            bounds_report = run_bounds_checks(
+                paths,
+                select=bounds_select,
+                baseline_path=baseline,
+            )
+            report.findings.extend(bounds_report.findings)
+            report.baseline_suppressed += bounds_report.baseline_suppressed
     report.findings.sort()
     return report
 
 
-def all_rules() -> List[Tuple[str, str, str]]:
-    """Every rule as ``(code, summary, rationale)`` for ``--list-rules``."""
+def rules_by_pass() -> List[Tuple[str, List[Tuple[str, str, str]]]]:
+    """Rules grouped by pass, for the grouped ``--list-rules`` view.
+
+    Returns ``(pass name, [(code, summary, rationale), ...])`` pairs in
+    pass order: shallow, deep, kernel, bounds.
+    """
+    from repro.checks.bounds import BOUNDS_RULES
     from repro.checks.flow import FLOW_RULES
     from repro.checks.kernel import KERNEL_RULES
     from repro.checks.registry_checks import RegistryConformance
 
     rules: List[Rule] = [cls() for cls in AST_RULES]
     rules.append(RegistryConformance())
-    out = [
+    shallow = [
         (rule.code, rule.summary, (rule.__doc__ or "").strip())
         for rule in rules
     ]
-    out.append((
+    shallow.append((
         "NOQA001",
         NOQA001_SUMMARY,
         "Suppressions must name their rules and justify them so the "
         "debt they hide stays reviewable.",
     ))
-    for code in sorted(FLOW_RULES):
-        out.append((code, FLOW_RULES[code], "Deep (whole-program) pass."))
-    for code in sorted(KERNEL_RULES):
-        out.append((
-            code, KERNEL_RULES[code], "Kernel (slot-typestate) pass."
-        ))
-    return out
+    return [
+        ("shallow (per-file AST)", shallow),
+        ("deep (whole-program dataflow)", [
+            (code, FLOW_RULES[code], "Deep (whole-program) pass.")
+            for code in sorted(FLOW_RULES)
+        ]),
+        ("kernel (slot typestate)", [
+            (code, KERNEL_RULES[code], "Kernel (slot-typestate) pass.")
+            for code in sorted(KERNEL_RULES)
+        ]),
+        ("bounds (hot-path cost)", [
+            (code, BOUNDS_RULES[code], "Bounds (cost-interpreter) pass.")
+            for code in sorted(BOUNDS_RULES)
+        ]),
+    ]
+
+
+def all_rules() -> List[Tuple[str, str, str]]:
+    """Every rule as ``(code, summary, rationale)``, all passes."""
+    return [rule for _, group in rules_by_pass() for rule in group]
 
 
 def rule_docs() -> Dict[str, str]:
@@ -301,6 +353,7 @@ def format_findings(report: CheckReport, fmt: str = "human") -> str:
                 "baseline_suppressed": report.baseline_suppressed,
                 "deep": report.deep,
                 "kernel": report.kernel,
+                "bounds": report.bounds,
                 "exit_code": report.exit_code,
             },
             indent=2,
@@ -323,10 +376,11 @@ def format_findings(report: CheckReport, fmt: str = "human") -> str:
         f"{len(report.findings)} finding(s) in {report.files_checked} "
         f"file(s) ({report.suppressed} suppressed via noqa)"
     )
-    if report.deep or report.kernel:
+    if report.deep or report.kernel or report.bounds:
         passes = "+".join(
             name for name, on in (("deep", report.deep),
-                                  ("kernel", report.kernel)) if on
+                                  ("kernel", report.kernel),
+                                  ("bounds", report.bounds)) if on
         )
         summary += (
             f" [{passes} pass on; {report.baseline_suppressed} baselined]"

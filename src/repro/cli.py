@@ -47,7 +47,8 @@ Usage::
     # simulator-aware static analysis (lint) over the source tree
     python -m repro check [PATH ...defaults to the installed package]
     python -m repro check src/repro --format json
-    python -m repro check src/repro --deep --kernel
+    python -m repro check src/repro --deep --kernel --bounds
+    python -m repro check src/repro --all --format sarif
     python -m repro check --list-rules
 
 ``figure6``, ``figure7``, ``ablations``, ``all`` and ``simulate`` accept
@@ -95,20 +96,23 @@ def _run_check(args: argparse.Namespace) -> int:
     """
     from pathlib import Path
 
-    from repro.checks import all_rules, format_findings, run_checks
+    from repro.checks import format_findings, rules_by_pass, run_checks
 
     if args.list_rules:
         from repro.util.tables import format_table
 
-        rows = []
-        for code, summary, rationale in all_rules():
-            first = rationale.splitlines()[0] if rationale else summary
-            rows.append([code, summary, first])
-        print(format_table(
-            ["rule", "summary", "rationale"], rows,
-            title="repro check rules",
-        ))
+        for pass_name, group in rules_by_pass():
+            rows = []
+            for code, summary, rationale in group:
+                first = rationale.splitlines()[0] if rationale else summary
+                rows.append([code, summary, first])
+            print(format_table(
+                ["rule", "summary", "rationale"], rows,
+                title=f"repro check rules — {pass_name}",
+            ))
         return 0
+    if args.check_all:
+        args.deep = args.kernel = args.bounds = True
     if args.target is not None:
         paths = [args.target]
     else:
@@ -133,13 +137,21 @@ def _run_check(args: argparse.Namespace) -> int:
             run_flow_checks,
             write_baseline,
         )
+        from repro.checks.bounds import run_bounds_checks
         from repro.checks.kernel import run_kernel_checks
 
-        # Baseline raw deep + kernel findings (run against an empty
-        # baseline) — both passes share one baseline file.
+        # Baseline raw shallow + deep + kernel + bounds findings (each
+        # run against an empty baseline) — every pass shares one file.
+        shallow_report = run_checks(paths, baseline="/dev/null")
         flow_report = run_flow_checks(paths, baseline_path="/dev/null")
         kernel_report = run_kernel_checks(paths, baseline_path="/dev/null")
-        combined = sorted(flow_report.findings + kernel_report.findings)
+        bounds_report = run_bounds_checks(paths, baseline_path="/dev/null")
+        combined = sorted(
+            shallow_report.findings
+            + flow_report.findings
+            + kernel_report.findings
+            + bounds_report.findings
+        )
         written = write_baseline(
             combined, args.baseline or DEFAULT_BASELINE
         )
@@ -153,6 +165,7 @@ def _run_check(args: argparse.Namespace) -> int:
         select=tuple(args.select or ()),
         deep=args.deep,
         kernel=args.kernel,
+        bounds=args.bounds,
         baseline=args.baseline,
         manifest=args.hash_schema,
     )
@@ -1070,11 +1083,29 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     check.add_argument(
+        "--bounds",
+        action="store_true",
+        help=(
+            "also run the static cost-bound pass over the hot paths "
+            "(abstract cost interpreter + '# repro: bound' hygiene, "
+            "BND001..4)"
+        ),
+    )
+    check.add_argument(
+        "--all",
+        action="store_true",
+        dest="check_all",
+        help=(
+            "run every pass (shallow + deep + kernel + bounds) and "
+            "report one merged result"
+        ),
+    )
+    check.add_argument(
         "--update-baseline",
         action="store_true",
         help=(
-            "rewrite the shared deep+kernel baseline from the current "
-            "findings"
+            "rewrite the shared deep+kernel+bounds baseline from the "
+            "current findings"
         ),
     )
     check.add_argument(

@@ -279,6 +279,8 @@ class ULCMultiClient:
 
     # -- notices -------------------------------------------------------------
 
+    # repro: bound O(n) amortized -- each queued server notice is
+    # generated by one eviction and delivered once
     def apply_notices(self, blocks: Sequence[Block]) -> int:
         """Apply server eviction notices; returns how many were live.
 
@@ -416,6 +418,8 @@ class ULCMultiClient:
             return 2
         return None
 
+    # repro: bound O(n) amortized -- drains notices queued since the
+    # last access; each notice is generated once and applied once
     def _handle_own_eviction(self, eviction: _Eviction) -> None:
         """When our own caching request evicts one of our *own* blocks,
         the notice can be applied immediately — it rides back on the
@@ -525,6 +529,8 @@ class ULCMultiSystem:
             return self._access_with_notices(client, block)
         return self._access_by_client[client](block)
 
+    # repro: bound O(n) amortized -- delivers the notices queued for
+    # this client; each notice is generated once and delivered once
     def _access_with_notices(self, client: int, block: Block) -> AccessEvent:
         """Slow path: deliver queued eviction notices, then access."""
         engine = self._engines[client]

@@ -174,6 +174,8 @@ class ULCMultiLevelClient:
         eviction = self._tier(level).want_cached(block, self.client_id)
         self._route_tier_eviction(level, eviction, demotions)
 
+    # repro: bound O(1) -- the demotion cascade descends at most
+    # num_levels shared tiers (config-bounded)
     def _route_tier_eviction(
         self,
         level: int,
@@ -257,23 +259,29 @@ class ULCMultiLevelSystem:
         ]
         self.num_levels = 1 + len(self.tiers)
 
+    # repro: bound O(1) amortized -- each delivered notice was queued by
+    # exactly one earlier tier eviction, so the drain cost is prepaid by
+    # the evictions that produced the notices
+    def _deliver_notices(self, engine: ULCMultiLevelClient) -> None:
+        """Deliver pending notices from every tier. A block evicted from
+        tier k was demoted into tier k+1 (unless k was the bottom): the
+        client checks where it actually is and adjusts its view."""
+        for level in range(2, self.num_levels + 1):
+            tier = engine._tier(level)  # noqa: SLF001 - system layer
+            for block_id in tier.collect_notices(client=engine.client_id):
+                demoted = (
+                    level < self.num_levels
+                    and engine._tier(level + 1).peek(block_id)  # noqa: SLF001
+                )
+                engine.apply_notice(level, block_id, demoted)
+
     def access(self, client: int, block: Block) -> AccessEvent:
         if not 0 <= client < len(self.clients):
             raise ConfigurationError(
                 f"client {client} out of range [0, {len(self.clients)})"
             )
         engine = self.clients[client]
-        # Deliver pending notices from every tier. A block evicted from
-        # tier k was demoted into tier k+1 (unless k was the bottom): the
-        # client checks where it actually is and adjusts its view.
-        for level in range(2, self.num_levels + 1):
-            tier = engine._tier(level)  # noqa: SLF001 - system layer
-            for block_id in tier.collect_notices(client):
-                demoted = (
-                    level < self.num_levels
-                    and engine._tier(level + 1).peek(block_id)  # noqa: SLF001
-                )
-                engine.apply_notice(level, block_id, demoted)
+        self._deliver_notices(engine)
         return engine.access(block)
 
     def check_invariants(self) -> None:

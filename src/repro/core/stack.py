@@ -350,6 +350,9 @@ class UniLRUStack:
         self._insert_sorted(victim, level + 1)
         return victim
 
+    # repro: bound O(n) -- DemotionSearching: the walk from the stack
+    # top stops at the level successor, the paper's Section 3.2 search
+    # that makes demoted blocks findable without per-level stacks
     def _insert_sorted(self, node: StackNode, level: int) -> None:
         """Insert into ``LRU_level`` keeping descending sequence order.
 
@@ -416,6 +419,8 @@ class UniLRUStack:
             node.slot = -1
         del self._nodes[node.block]
 
+    # repro: bound O(1) amortized -- each forgotten L_out entry was
+    # inserted into the stack exactly once, so trimming is prepaid
     def prune(self) -> int:
         """Remove ``L_out`` entries from the stack bottom.
 
@@ -439,6 +444,9 @@ class UniLRUStack:
             removed += 1
         return removed
 
+    # repro: bound O(n) amortized -- the Section-5 metadata trim walks
+    # from the coldest end only when the stack exceeds max_size; each
+    # trimmed entry was inserted once
     def _enforce_max_size(self) -> None:
         """Trim the coldest ``L_out`` entries beyond ``max_size``.
 

@@ -73,6 +73,9 @@ class EvictionBasedScheme(MultiLevelScheme):
         #: scheme trades the network demotions for).
         self.reloads = 0
 
+    # repro: bound O(1) amortized -- each drained entry was queued by
+    # exactly one _schedule_reload call, so completions are prepaid by
+    # the evictions that scheduled them
     def _complete_reloads(self) -> None:
         queue = self._pending_queue
         pending_get = self._pending.get

@@ -53,6 +53,8 @@ class CLOCKPolicy(LRUPolicy):
             return  # pragma: no cover - _require_resident raised
         self._refbit[slot] = True
 
+    # repro: bound O(n) -- linear in the batch segment; every element
+    # is visited once (order-free reference-bit sets)
     def _touch_segment(self, seg: np.ndarray) -> None:
         """Hits only set reference bits — order-free, so no replay."""
         slots = self._slots
@@ -64,6 +66,8 @@ class CLOCKPolicy(LRUPolicy):
         for block in blocks:
             refbit[slots[block]] = True
 
+    # repro: bound O(1) amortized -- the hand sweep clears reference
+    # bits; each cleared bit was set by one earlier hit
     def insert(self, block: Block) -> List[Block]:
         self._require_absent(block)
         evicted: List[Block] = []
@@ -87,6 +91,8 @@ class CLOCKPolicy(LRUPolicy):
         stack.push_back(self._alloc(block))
         return evicted
 
+    # repro: bound O(n) -- pure prediction: simulates the sweep over a
+    # snapshot without clearing bits, so it cannot amortize
     def victim(self) -> Optional[Block]:
         """Predict the next eviction without moving the hand.
 

@@ -120,6 +120,8 @@ class LeCaRPolicy(ReplacementPolicy):
             raise ProtocolError("lecar: eviction with empty cache")
         return tail
 
+    # repro: bound O(n) -- two reverse walks over the recency chain
+    # find the LRU minimal-frequency holder without an index
     def _lfu_victim_slot(self) -> int:
         """Least recently used among the minimal-frequency blocks."""
         freq = self._freq
@@ -150,6 +152,8 @@ class LeCaRPolicy(ReplacementPolicy):
     def _choose_expert(self) -> int:
         return _LRU if self._draw() < self._weights[_LRU] else _LFU
 
+    # repro: bound O(1) amortized -- the history trim pops at most the
+    # entries earlier calls pushed
     def _remember(self, expert: int, block: Block, freq: int) -> None:
         history = self._history[expert]
         history[block] = (self._clock, freq)

@@ -72,6 +72,8 @@ class LFUPolicy(ReplacementPolicy):
         self._require_resident(block)
         self._unlink(block)
 
+    # repro: bound O(n) -- min scan over the occupied frequency
+    # buckets (at most one per distinct frequency)
     def victim(self) -> Optional[Block]:
         if not self.full or not self._entries:
             return None

@@ -112,6 +112,8 @@ class LIRSPolicy(ReplacementPolicy):
         self._queue_remove(entry)
         del self._entries[entry.block]
 
+    # repro: bound O(1) amortized -- each popped HIR entry was pushed
+    # onto the LIRS stack exactly once, so pruning is prepaid
     def _prune_stack(self) -> None:
         """Remove HIR entries from the stack bottom until a LIR block (or
         nothing) remains at the bottom; demote that LIR block if it was
@@ -131,6 +133,8 @@ class LIRSPolicy(ReplacementPolicy):
                 del self._entries[entry.block]
             # Resident HIR entries stay tracked via the queue.
 
+    # repro: bound O(n) amortized -- the reverse walk removes ghosts
+    # beyond the limit; each removed ghost was inserted once
     def _enforce_ghost_limit(self) -> None:
         if self._ghost_count <= self.ghost_limit:
             return
@@ -264,6 +268,8 @@ class LIRSPolicy(ReplacementPolicy):
         else:
             self._drop_entry(entry)
 
+    # repro: bound O(n) -- pure prediction: the degenerate all-LIR
+    # case walks the stack snapshot without pruning it
     def victim(self) -> Optional[Block]:
         if not self.full:
             return None

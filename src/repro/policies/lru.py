@@ -206,6 +206,9 @@ class LRUPolicy(ReplacementPolicy):
             prv[first] = slot
             nxt[SENTINEL] = slot
 
+    # repro: bound O(n) amortized -- the scalar probe is capped at
+    # _DEDUPE_THRESHOLD references and the gather/touch pass visits each
+    # consumed reference once
     def hit_run(self, blocks: Sequence[Block]) -> int:
         """Vectorised :meth:`ReplacementPolicy.hit_run`.
 
@@ -250,6 +253,9 @@ class LRUPolicy(ReplacementPolicy):
             self._touch_segment(arr[:stop])
         return stop
 
+    # repro: bound O(n) amortized -- the checkpoint cursor and the
+    # verified stretches partition the batch, so each reference is
+    # gathered, verified and touched a constant number of times
     def access_batch(self, blocks: Sequence[Block]) -> BatchResult:
         """Vectorised :meth:`ReplacementPolicy.access_batch`.
 

@@ -61,6 +61,8 @@ class LRUKPolicy(ReplacementPolicy):
     def __len__(self) -> int:
         return len(self._history)
 
+    # repro: bound O(1) -- the per-block history deque never exceeds
+    # k+1 entries (k is configuration)
     def touch(self, block: Block) -> None:
         self._require_resident(block)
         self._clock += 1
@@ -88,6 +90,8 @@ class LRUKPolicy(ReplacementPolicy):
         self._require_resident(block)
         del self._history[block]
 
+    # repro: bound O(log n) amortized -- lazy heap cleanup: each
+    # popped stale entry was pushed by one earlier touch
     def victim(self) -> Optional[Block]:
         if not self.full or not self._history:
             return None

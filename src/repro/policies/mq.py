@@ -114,6 +114,9 @@ class MQPolicy(ReplacementPolicy):
         entry.slot = -1
         return entry
 
+    # repro: bound O(1) amortized -- Zhou's Adjust(): each demotion
+    # moves a block one queue down, prepaid by the promotion that
+    # raised it
     def _adjust(self) -> None:
         """Demote expired LRU blocks one queue down (Zhou's Adjust())."""
         time = self._time
@@ -133,6 +136,8 @@ class MQPolicy(ReplacementPolicy):
                 entry.expire_time = time + self.life_time
                 lower.push_front(tail)
 
+    # repro: bound O(1) amortized -- the ghost trim pops at most the
+    # entries earlier calls pushed
     def _remember_ghost(self, block: Block, frequency: int) -> None:
         if self.ghost_capacity == 0:
             return

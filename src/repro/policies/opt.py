@@ -120,6 +120,8 @@ class OPTPolicy(ReplacementPolicy):
         self._heap_seq += 1
         heapq.heappush(self._heap, (-when, self._heap_seq, block))
 
+    # repro: bound O(log n) amortized -- lazy heap deletion: each
+    # popped stale entry was pushed by one earlier clock advance
     def _current_farthest(self) -> Block:
         heap = self._heap
         resident = self._resident

@@ -127,6 +127,8 @@ class S3FIFOPolicy(ReplacementPolicy):
             self._bits = bits
         return bits
 
+    # repro: bound O(1) amortized -- the ghost trim pops at most the
+    # entries earlier calls pushed
     def _ghost_remember(self, block: Block) -> None:
         ghost = self._ghost
         if block in ghost:
@@ -138,6 +140,9 @@ class S3FIFOPolicy(ReplacementPolicy):
 
     # -- eviction ----------------------------------------------------------
 
+    # repro: bound O(1) amortized -- every small pass either evicts or
+    # moves one block to main; every main pass either evicts or
+    # decrements a counter some touch incremented
     def _evict_one(self) -> Block:
         """Free exactly one resident block and return it.
 
@@ -198,6 +203,8 @@ class S3FIFOPolicy(ReplacementPolicy):
             self._main.remove(slot)
         self._release(slot)
 
+    # repro: bound O(n) -- pure prediction: replays the eviction scan
+    # on queue snapshots without mutating frequencies
     def victim(self) -> Optional[Block]:
         """Pure replay of :meth:`_evict_one` on snapshots."""
         if not self.full or not self._slots:
@@ -242,6 +249,9 @@ class S3FIFOPolicy(ReplacementPolicy):
 
     # -- batched kernels ---------------------------------------------------
 
+    # repro: bound O(n) amortized -- the scalar probe is capped at
+    # _PROBE references and the counter scatter visits each consumed
+    # reference once
     def hit_run(self, blocks: Sequence[Block]) -> int:
         """Vectorised all-hit prefix.
 
@@ -296,6 +306,9 @@ class S3FIFOPolicy(ReplacementPolicy):
             total = freq[slot] + count
             freq[slot] = total if total < _FREQ_MAX else _FREQ_MAX
 
+    # repro: bound O(n) amortized -- the checkpoint cursor and the
+    # verified stretches partition the batch, so each reference is
+    # gathered, verified and counted a constant number of times
     def access_batch(self, blocks: Sequence[Block]) -> BatchResult:
         """Vectorised :meth:`ReplacementPolicy.access_batch` (shared
         mark-on-hit driver; see :mod:`repro.policies.batch`)."""

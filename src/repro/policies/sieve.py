@@ -114,6 +114,8 @@ class SIEVEPolicy(ReplacementPolicy):
             raise ProtocolError("sieve: queue emptied during sweep")
         return tail
 
+    # repro: bound O(1) amortized -- the sweep clears visited bits;
+    # each cleared bit was set by one earlier hit
     def _evict_one(self) -> Block:
         slot = self._sweep_start()
         visited = self._visited
@@ -155,6 +157,8 @@ class SIEVEPolicy(ReplacementPolicy):
         self._queue.remove(slot)
         self._release(slot)
 
+    # repro: bound O(n) -- pure prediction: simulates the sweep over a
+    # snapshot without clearing bits, so it cannot amortize
     def victim(self) -> Optional[Block]:
         """Pure replay of the eviction sweep (no bits are cleared)."""
         if not self.full or not self._queue.size:
@@ -180,6 +184,9 @@ class SIEVEPolicy(ReplacementPolicy):
 
     # -- batched kernels ---------------------------------------------------
 
+    # repro: bound O(n) amortized -- the scalar probe is capped at
+    # _PROBE references and the visited-bit scatter visits each
+    # consumed reference once
     def hit_run(self, blocks: Sequence[Block]) -> int:
         """Vectorised all-hit prefix: hits only set visited bits, which
         is order-independent and idempotent, so marking each distinct
@@ -225,6 +232,9 @@ class SIEVEPolicy(ReplacementPolicy):
         for block in np.unique(seg).tolist():
             visited[slots[block]] = True
 
+    # repro: bound O(n) amortized -- the checkpoint cursor and the
+    # verified stretches partition the batch, so each reference is
+    # gathered, verified and marked a constant number of times
     def access_batch(self, blocks: Sequence[Block]) -> BatchResult:
         """Vectorised :meth:`ReplacementPolicy.access_batch` (shared
         mark-on-hit driver; see :mod:`repro.policies.batch`)."""

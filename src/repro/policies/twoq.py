@@ -53,6 +53,8 @@ class TwoQPolicy(ReplacementPolicy):
     def __len__(self) -> int:
         return len(self._where)
 
+    # repro: bound O(1) amortized -- the A1out trim pops at most the
+    # ghosts earlier evictions pushed
     def _evict_one(self) -> Block:
         """Reclaim per 2Q: prefer the A1in tail (remembering its ghost),
         otherwise the Am LRU tail."""

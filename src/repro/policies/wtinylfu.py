@@ -60,6 +60,9 @@ class _FrequencySketch:
         self._ops = 0
         self._sample = max(16, 10 * capacity)
 
+    # repro: bound O(1) amortized -- the halving decay scans the sketch
+    # once per sample window (>= 10x capacity references), so its cost
+    # per recorded reference is a constant fraction of a counter
     def record(self, block: Block) -> None:
         """Count one reference to ``block`` (with doorkeeper + aging)."""
         if isinstance(block, _INTEGRAL):
@@ -250,6 +253,8 @@ class WTinyLFUPolicy(ReplacementPolicy):
             self._region[demoted] = _PROBATION
             self._probation.push_front(demoted)
 
+    # repro: bound O(1) amortized -- each window-overflow iteration
+    # demotes one block that exactly one insertion pushed
     def insert(self, block: Block) -> List[Block]:
         self._require_absent(block)
         self._sketch.record(block)

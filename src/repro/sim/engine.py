@@ -99,6 +99,9 @@ def _span_scalar(
 
 
 # repro: hot
+# repro: bound O(n) amortized -- consumed runs and single-stepped
+# references partition the span, and the doubling probe backoff
+# caps empty-probe overhead at a constant factor per reference
 def _span_batched(
     scheme: MultiLevelScheme,
     blocks_arr: np.ndarray,
@@ -248,6 +251,8 @@ def _drive_batched(
     return warmup_count
 
 
+# repro: bound O(n) amortized -- chunks partition the stream and
+# each span loop visits every reference of its chunk once
 def _drive_stream(
     scheme: MultiLevelScheme,
     source: Union[Trace, StreamingTrace],

@@ -57,6 +57,8 @@ class FenwickTree:
             if value:
                 self.add(index, value)
 
+    # repro: bound O(log n) -- the update climb adds the lowest set bit
+    # each step, so it visits at most log2(size) tree slots
     def add(self, index: int, delta: int) -> None:
         """Add ``delta`` to slot ``index``."""
         if not 0 <= index < self._size:
@@ -67,6 +69,8 @@ class FenwickTree:
             self._tree[i] += delta
             i += i & (-i)
 
+    # repro: bound O(log n) -- the query descent clears the lowest set
+    # bit each step, so it visits at most log2(size) tree slots
     def prefix_sum(self, index: int) -> int:
         """Sum of slots ``[0, index]``; ``index`` of -1 yields 0."""
         if index >= self._size:
@@ -95,6 +99,8 @@ class FenwickTree:
             return self._total
         return self._total - self.prefix_sum(index - 1)
 
+    # repro: bound O(log n) -- binary lifting halves the probe mask
+    # each step, so it visits at most log2(size) tree slots
     def select(self, k: int) -> int:
         """Index of the slot containing the ``k``-th unit (0-based).
 

@@ -80,6 +80,9 @@ class IntSlab:
         self._lists.append(lst)
         lst._grow_to(self._capacity)
 
+    # repro: bound O(1) amortized -- geometric growth: each doubling
+    # pays for the allocations since the last, so steady state is one
+    # list pop
     def alloc(self) -> int:
         """Allocate a slot (recycled if possible). O(1) amortised.
 
@@ -209,6 +212,8 @@ class IntLinkedList:
         """Last (eviction-end) slot, or ``None`` if the list is empty."""
         return self.prev[SENTINEL] if self.size else None
 
+    # repro: bound O(n) -- a full chain walk by design; lazy, so
+    # callers pay only for the prefix they consume
     def __iter__(self) -> Iterator[int]:
         """Iterate slots head to tail; tolerates removal of the current
         slot but not of the one after it."""
@@ -219,6 +224,8 @@ class IntLinkedList:
             yield slot
             slot = upcoming
 
+    # repro: bound O(n) -- a full chain walk by design; lazy, so
+    # callers pay only for the suffix they consume
     def iter_reverse(self) -> Iterator[int]:
         """Iterate slots tail to head (same removal tolerance)."""
         prv = self.prev
@@ -350,6 +357,8 @@ class IntLinkedList:
         while self.size:
             self.pop_front()
 
+    # repro: bound O(n) -- diagnostic snapshot of the whole chain
+    # (tests and pure victim replays)
     def to_list(self) -> List[int]:
         """Snapshot of the linked slots, head to tail (tests)."""
         return list(self)

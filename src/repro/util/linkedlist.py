@@ -62,6 +62,8 @@ class DoublyLinkedList(Generic[T]):
     def __bool__(self) -> bool:
         return self._length > 0
 
+    # repro: bound O(n) -- a full chain walk by design; lazy, so
+    # callers pay only for the prefix they consume
     def __iter__(self) -> Iterator[ListNode[T]]:
         """Iterate nodes from head to tail.
 
@@ -74,6 +76,8 @@ class DoublyLinkedList(Generic[T]):
             yield node  # type: ignore[misc]
             node = nxt
 
+    # repro: bound O(n) -- a full chain walk by design; lazy, so
+    # callers pay only for the suffix they consume
     def iter_reverse(self) -> Iterator[ListNode[T]]:
         """Iterate nodes from tail to head."""
         node = self._sentinel.prev

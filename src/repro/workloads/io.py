@@ -215,6 +215,8 @@ class StreamingTrace:
         )
 
 
+# repro: bound O(n) -- one pass over the trace by definition; the
+# generator yields one zero-copy slice per chunk
 def iter_chunks(
     source: Union[Trace, StreamingTrace],
     chunk_size: int = DEFAULT_CHUNK_REFS,

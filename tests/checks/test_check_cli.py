@@ -255,3 +255,122 @@ class TestKernelPass:
                      "--baseline", str(baseline)]) == 0
         assert "2 baselined" in capsys.readouterr().out
 
+
+def _four_pass_fixture(tmp_path):
+    """One package with a finding from every pass: DET001 (shallow),
+    FLOW001 (deep), KER004 (kernel) and BND001 (bounds)."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "sim.py").write_text(
+        "import random\n\n\n"
+        "def run_simulation(trace):\n"
+        "    return random.random()\n"
+    )
+    (pkg / "scheme.py").write_text(
+        "class BadScheme:\n"
+        "    supports_batch = True\n"
+    )
+    (pkg / "hotpath.py").write_text(
+        "class SlowCache:\n"
+        "    def __init__(self):\n"
+        "        self.table = {}\n\n"
+        "    def access(self, block):\n"
+        "        for key in self.table:\n"
+        "            if key == block:\n"
+        "                return True\n"
+        "        return False\n"
+    )
+    return pkg
+
+
+class TestBoundsPass:
+    def test_own_tree_is_bounds_clean(self, capsys):
+        assert main(["check", str(SRC_REPRO), "--bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "bounds pass on" in out
+
+    def test_bounds_reports_cost_findings(self, tmp_path, capsys):
+        pkg = _four_pass_fixture(tmp_path)
+        assert main(["check", str(pkg), "--bounds",
+                     "--baseline", str(tmp_path / "none.json")]) == 1
+        assert "BND001" in capsys.readouterr().out
+
+    def test_select_can_narrow_to_bounds_rule(self, tmp_path, capsys):
+        pkg = _four_pass_fixture(tmp_path)
+        assert main(["check", str(pkg), "--bounds",
+                     "--select", "BND001",
+                     "--baseline", str(tmp_path / "none.json")]) == 1
+        out = capsys.readouterr().out
+        assert "BND001" in out
+        assert "DET001" not in out
+
+    def test_unknown_bnd_select_code_exits_two(self, capsys):
+        assert main(["check", str(SRC_REPRO),
+                     "--select", "BND999"]) == 2
+        assert "BND999" in capsys.readouterr().err
+
+    def test_list_rules_groups_by_pass(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for heading in ("shallow", "deep", "kernel", "bounds"):
+            assert heading in out
+        for code in ("BND001", "BND002", "BND003", "BND004"):
+            assert code in out
+        # the bounds group comes after the kernel group
+        assert out.index("KER004") < out.index("BND001")
+
+
+class TestAllPasses:
+    def test_own_tree_is_clean_under_all(self, capsys):
+        assert main(["check", str(SRC_REPRO), "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "deep+kernel+bounds pass on" in out
+
+    def test_all_merges_every_pass(self, tmp_path, capsys):
+        pkg = _four_pass_fixture(tmp_path)
+        assert main(["check", str(pkg), "--all",
+                     "--baseline", str(tmp_path / "none.json")]) == 1
+        out = capsys.readouterr().out
+        for code in ("DET001", "FLOW001", "KER004", "BND001"):
+            assert code in out
+        # one combined summary line, not one per pass
+        assert out.count("finding(s)") == 1
+
+    def test_merged_sarif_validates_against_schema(self, tmp_path, capsys):
+        jsonschema = __import__("pytest").importorskip("jsonschema")
+        pkg = _four_pass_fixture(tmp_path)
+        assert main(["check", str(pkg), "--all", "--format", "sarif",
+                     "--baseline", str(tmp_path / "none.json")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        schema = json.loads(
+            (Path(__file__).parent / "data"
+             / "sarif-2.1.0-subset.schema.json").read_text()
+        )
+        jsonschema.validate(payload, schema)
+        results = payload["runs"][0]["results"]
+        rule_ids = {r["ruleId"] for r in results}
+        assert {"DET001", "FLOW001", "KER004", "BND001"} <= rule_ids
+        bnd = next(r for r in results if r["ruleId"] == "BND001")
+        # the dominating loop nest rides along as a codeFlow
+        flow = bnd["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert len(flow) >= 2
+
+    def test_four_pass_baseline_round_trip(self, tmp_path, capsys):
+        pkg = _four_pass_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["check", str(pkg), "--all",
+                     "--update-baseline", "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        entries = json.loads(baseline.read_text())["findings"].values()
+        for prefix in ("DET001 ", "FLOW001 ", "KER004 ", "BND001 "):
+            assert any(e.startswith(prefix) for e in entries), prefix
+        # all four passes are now quiet under the one shared baseline
+        assert main(["check", str(pkg), "--all",
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "baselined" in out
+
